@@ -1,0 +1,40 @@
+//! Ablation bench: how the parameter `τ` (and the §4.1 growing-step cap)
+//! shifts the cost of `CLUSTER`. Larger `τ` means more clusters, a smaller
+//! radius and fewer growing steps, at the price of a larger quotient graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_core::{cluster, cluster2, ClusterConfig};
+use cldiam_gen::{mesh, WeightModel};
+
+fn bench_tau_sweep(c: &mut Criterion) {
+    let graph = mesh(72, WeightModel::UniformUnit, 5);
+    let mut group = c.benchmark_group("cluster_tau_sweep");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for tau in [1usize, 4, 16, 64] {
+        let config = ClusterConfig::default().with_tau(tau).with_seed(5);
+        group.bench_with_input(BenchmarkId::new("cluster", tau), &config, |b, cfg| {
+            b.iter(|| cluster(&graph, cfg))
+        });
+    }
+
+    // §4.1 step cap ablation at a fixed τ.
+    for cap in [4usize, 16, 64] {
+        let config = ClusterConfig::default().with_tau(4).with_seed(5).with_step_cap(cap);
+        group.bench_with_input(BenchmarkId::new("cluster_capped", cap), &config, |b, cfg| {
+            b.iter(|| cluster(&graph, cfg))
+        });
+    }
+
+    // CLUSTER vs CLUSTER2 at the same τ.
+    let config = ClusterConfig::default().with_tau(4).with_seed(5);
+    group.bench_function("cluster2", |b| b.iter(|| cluster2(&graph, &config)));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_tau_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmark of the Δ-growing step (the inner kernel whose count is the
+//! paper's round complexity), comparing the shared-memory fast path with the
+//! literal MapReduce execution.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_core::{mr_impl::mr_partial_growth, partial_growth, GrowState};
+use cldiam_gen::{mesh, WeightModel};
+use cldiam_graph::NodeId;
+use cldiam_mr::{MrConfig, MrEngine};
+
+fn seeded_state(n: usize, centers: &[NodeId]) -> GrowState {
+    let mut state = GrowState::new(n);
+    for &c in centers {
+        state.set_center(c);
+    }
+    state
+}
+
+fn bench_growing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta_growing_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for side in [32usize, 64, 96] {
+        let graph = mesh(side, WeightModel::UniformUnit, 7);
+        let centers: Vec<NodeId> =
+            (0..8).map(|i| (i * graph.num_nodes() / 8) as NodeId).collect();
+        let threshold = 4 * i64::from(cldiam_graph::WEIGHT_SCALE);
+
+        group.bench_with_input(BenchmarkId::new("shared_memory", side), &graph, |b, g| {
+            b.iter(|| {
+                let mut state = seeded_state(g.num_nodes(), &centers);
+                partial_growth(g, threshold, threshold as u64, &mut state, None, None, None)
+            })
+        });
+        if side <= 64 {
+            group.bench_with_input(BenchmarkId::new("mapreduce_engine", side), &graph, |b, g| {
+                b.iter(|| {
+                    let engine = MrEngine::new(MrConfig::with_machines(8));
+                    let mut state = seeded_state(g.num_nodes(), &centers);
+                    mr_partial_growth(&engine, g, threshold, threshold as u64, &mut state)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_growing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion companion of Figure 4: CL-DIAM wall-clock time as a function of
+//! the number of simulated machines (rayon worker threads) on the two
+//! scalability workloads.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_bench::workloads::WorkloadSet;
+use cldiam_core::{approximate_diameter, ClusterConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_scalability");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for workload in WorkloadSet::figure4(0.08, 2) {
+        let graph = workload.generate();
+        let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 500);
+        let config = ClusterConfig::default().with_tau(tau).with_seed(2);
+        for machines in [1usize, 2, 4, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(machines)
+                .build()
+                .expect("thread pool");
+            group.bench_with_input(
+                BenchmarkId::new(workload.paper_name, machines),
+                &machines,
+                |b, _| b.iter(|| pool.install(|| approximate_diameter(&graph, &config))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

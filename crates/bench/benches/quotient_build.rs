@@ -1,0 +1,34 @@
+//! Benchmarks of the quotient-graph construction and of the final quotient
+//! diameter computation — the "one round in local memory" stage of the paper.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_core::{cluster, quotient_graph, ClusterConfig};
+use cldiam_gen::{mesh, WeightModel};
+use cldiam_sssp::exact_diameter;
+
+fn bench_quotient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quotient");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for side in [48usize, 96] {
+        let graph = mesh(side, WeightModel::UniformUnit, 11);
+        let config = ClusterConfig::default().with_tau(4).with_seed(11);
+        let clustering = cluster(&graph, &config);
+        group.bench_with_input(BenchmarkId::new("build", side), &graph, |b, g| {
+            b.iter(|| quotient_graph(g, &clustering))
+        });
+        let quotient = quotient_graph(&graph, &clustering);
+        group.bench_with_input(
+            BenchmarkId::new("exact_diameter", side),
+            &quotient.graph,
+            |b, q| b.iter(|| exact_diameter(q)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quotient);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Shortest-path substrate benchmarks: Dijkstra vs Bellman-Ford vs
+//! Δ-stepping (for several bucket widths) on a road-like and a social-like
+//! graph. The Δ tradeoff (small Δ → more phases, large Δ → more work) is the
+//! mechanism the paper's baseline tunes per graph.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_gen::{preferential_attachment, road_network, WeightModel};
+use cldiam_graph::largest_component;
+use cldiam_sssp::{bellman_ford, delta_stepping, dijkstra, suggest_delta};
+
+fn bench_sssp(c: &mut Criterion) {
+    let (roads, _) = largest_component(&road_network(70, 70, 3));
+    let social = preferential_attachment(6_000, 6, WeightModel::UniformUnit, 3);
+    let graphs = [("roads", roads), ("social", social)];
+
+    let mut group = c.benchmark_group("sssp_baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for (name, graph) in &graphs {
+        group.bench_with_input(BenchmarkId::new("dijkstra", name), graph, |b, g| {
+            b.iter(|| dijkstra(g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("bellman_ford", name), graph, |b, g| {
+            b.iter(|| bellman_ford(g, 0))
+        });
+        let base = suggest_delta(graph);
+        for (label, delta) in [("delta_x1", base), ("delta_x16", base.saturating_mul(16))] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                graph,
+                |b, g| b.iter(|| delta_stepping(g, 0, delta.max(1), None)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

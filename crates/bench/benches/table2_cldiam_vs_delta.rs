@@ -1,0 +1,37 @@
+//! Criterion companion of Table 2 / Figures 1–3: time CL-DIAM and the
+//! Δ-stepping baseline on a miniature instance of every benchmark family.
+//!
+//! The `reproduce table2` binary prints the full table (including rounds,
+//! work and approximation ratio); this bench provides statistically sound
+//! wall-clock comparisons of the same runs at a size Criterion can iterate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_bench::runner::{reference_lower_bound, run_cldiam, run_delta_stepping_best};
+use cldiam_bench::workloads::WorkloadSet;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+
+    for workload in WorkloadSet::table2(0.08, 1) {
+        let graph = workload.generate();
+        let lower = reference_lower_bound(&graph, 1);
+        group.bench_with_input(
+            BenchmarkId::new("cl_diam", workload.paper_name),
+            &graph,
+            |b, g| b.iter(|| run_cldiam(g, lower, 500, 1)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("delta_stepping", workload.paper_name),
+            &graph,
+            |b, g| b.iter(|| run_delta_stepping_best(g, lower, 1)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Benchmarks of the synthetic graph generators behind Table 1: the cost of
+//! materializing each benchmark family at a fixed size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_gen::{mesh, preferential_attachment, rmat, road_network, RmatParams, WeightModel};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    group.bench_function(BenchmarkId::new("mesh", 96), |b| {
+        b.iter(|| mesh(96, WeightModel::UniformUnit, 1))
+    });
+    group.bench_function(BenchmarkId::new("road_network", 96), |b| {
+        b.iter(|| road_network(96, 96, 1))
+    });
+    group.bench_function(BenchmarkId::new("rmat", 13), |b| {
+        b.iter(|| rmat(RmatParams::paper(13), WeightModel::UniformUnit, 1))
+    });
+    group.bench_function(BenchmarkId::new("preferential_attachment", 10_000), |b| {
+        b.iter(|| preferential_attachment(10_000, 8, WeightModel::UniformUnit, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Benchmark harness for the CL-DIAM reproduction.
+//!
+//! The [`workloads`] module maps every graph of the paper's Table 1 to a
+//! laptop-scale synthetic proxy; the [`runner`] module executes `CL-DIAM` and
+//! the Δ-stepping baseline with the paper's instrumentation (approximation
+//! ratio against an SSSP lower bound, wall-clock time, MapReduce rounds,
+//! work); the [`report`] module renders the rows as text tables and JSON.
+//!
+//! The `reproduce` binary regenerates every table and figure of the paper's
+//! evaluation section (see `EXPERIMENTS.md` at the workspace root); the
+//! Criterion benches under `benches/` provide statistically sound timings of
+//! the individual pipeline stages.
+
+pub mod report;
+pub mod runner;
+pub mod workloads;
+
+pub use report::{render_figure, render_table, to_json, ResultRow};
+pub use runner::{run_cldiam, run_delta_stepping_best, run_delta_stepping_with, RunResult};
+pub use workloads::{Workload, WorkloadSet};

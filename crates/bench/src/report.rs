@@ -1,0 +1,159 @@
+//! Plain-text table rendering and JSON export of experiment results.
+
+use serde::Serialize;
+
+use crate::runner::RunResult;
+
+/// One labelled table row: a graph plus the results of the algorithms that
+/// ran on it.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResultRow {
+    /// Graph label (the paper's name).
+    pub graph: String,
+    /// Proxy description.
+    pub proxy: String,
+    /// Number of nodes of the generated instance.
+    pub nodes: usize,
+    /// Number of edges of the generated instance.
+    pub edges: usize,
+    /// Results, one per algorithm.
+    pub results: Vec<RunResult>,
+}
+
+/// Renders rows in the layout of the paper's Table 2: one line per graph with
+/// the chosen metric for every algorithm side by side.
+pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    if rows.is_empty() {
+        out.push_str("(no rows)\n");
+        return out;
+    }
+    let algorithms: Vec<String> =
+        rows[0].results.iter().map(|r| r.algorithm.clone()).collect();
+    out.push_str(&format!("{:<14} {:>10} {:>10}", "graph", "nodes", "edges"));
+    for a in &algorithms {
+        out.push_str(&format!(" | {a:^38}"));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<14} {:>10} {:>10}", "", "", ""));
+    for _ in &algorithms {
+        out.push_str(&format!(
+            " | {:>8} {:>9} {:>8} {:>10}",
+            "approx", "time(s)", "rounds", "work"
+        ));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<14} {:>10} {:>10}", row.graph, row.nodes, row.edges));
+        for result in &row.results {
+            out.push_str(&format!(
+                " | {:>8.3} {:>9.3} {:>8} {:>10.3e}",
+                result.approximation, result.time_s, result.rounds, result.work as f64
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single-metric "figure" view (the bar-chart data of Figures 1–3):
+/// one line per graph and algorithm with the selected metric.
+pub fn render_figure(
+    title: &str,
+    rows: &[ResultRow],
+    metric_name: &str,
+    metric: impl Fn(&RunResult) -> f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ({metric_name}) ==\n"));
+    out.push_str(&format!("{:<14}", "graph"));
+    if let Some(first) = rows.first() {
+        for r in &first.results {
+            out.push_str(&format!(" {:>16}", r.algorithm));
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<14}", row.graph));
+        for result in &row.results {
+            out.push_str(&format!(" {:>16.4}", metric(result)));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes rows as pretty JSON (the machine-readable companion of the
+/// tables, consumed when regenerating `EXPERIMENTS.md`).
+pub fn to_json(rows: &[ResultRow]) -> String {
+    serde_json::to_string_pretty(rows).expect("result rows are serializable")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<ResultRow> {
+        vec![ResultRow {
+            graph: "mesh".to_string(),
+            proxy: "64x64 mesh".to_string(),
+            nodes: 4096,
+            edges: 8064,
+            results: vec![
+                RunResult {
+                    algorithm: "CL-DIAM".to_string(),
+                    estimate: 120,
+                    lower_bound: 100,
+                    approximation: 1.2,
+                    time_s: 0.5,
+                    rounds: 42,
+                    work: 100_000,
+                    detail: String::new(),
+                },
+                RunResult {
+                    algorithm: "Δ-stepping".to_string(),
+                    estimate: 190,
+                    lower_bound: 100,
+                    approximation: 1.9,
+                    time_s: 3.0,
+                    rounds: 900,
+                    work: 2_000_000,
+                    detail: String::new(),
+                },
+            ],
+        }]
+    }
+
+    #[test]
+    fn table_contains_all_columns() {
+        let text = render_table("Table 2", &sample_rows());
+        assert!(text.contains("Table 2"));
+        assert!(text.contains("mesh"));
+        assert!(text.contains("CL-DIAM"));
+        assert!(text.contains("Δ-stepping"));
+        assert!(text.contains("1.200"));
+        assert!(text.contains("900"));
+    }
+
+    #[test]
+    fn empty_table_renders_placeholder() {
+        assert!(render_table("t", &[]).contains("no rows"));
+    }
+
+    #[test]
+    fn figure_renders_one_metric() {
+        let text = render_figure("Figure 2", &sample_rows(), "rounds", |r| r.rounds as f64);
+        assert!(text.contains("rounds"));
+        assert!(text.contains("42.0000"));
+        assert!(text.contains("900.0000"));
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let json = to_json(&sample_rows());
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(value[0]["graph"], "mesh");
+        assert_eq!(value[0]["results"][1]["rounds"], 900);
+    }
+}

@@ -1,0 +1,177 @@
+//! Execution of the two competing algorithms with the paper's
+//! instrumentation.
+
+use std::time::Instant;
+
+use cldiam_core::{approximate_diameter, ClusterConfig};
+use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_mr::CostTracker;
+use cldiam_sssp::{delta_stepping, diameter_lower_bound, suggest_delta};
+use serde::Serialize;
+
+/// One measured run of either algorithm on one graph — the columns of
+/// Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct RunResult {
+    /// Algorithm name (`CL-DIAM` or `Δ-stepping`).
+    pub algorithm: String,
+    /// Diameter estimate (upper bound) produced by the run.
+    pub estimate: Dist,
+    /// Lower bound used to normalize the approximation ratio.
+    pub lower_bound: Dist,
+    /// Approximation ratio (`estimate / lower_bound`).
+    pub approximation: f64,
+    /// Wall-clock time, in seconds.
+    pub time_s: f64,
+    /// MapReduce rounds.
+    pub rounds: u64,
+    /// Work: node updates plus messages.
+    pub work: u64,
+    /// Extra detail (τ, Δ, cluster counts) for the JSON output.
+    pub detail: String,
+}
+
+/// Computes the diameter lower bound the paper uses to normalize ratios:
+/// iterated farthest-node SSSP sweeps.
+pub fn reference_lower_bound(graph: &Graph, seed: u64) -> Dist {
+    diameter_lower_bound(graph, 4, seed)
+}
+
+/// Runs `CL-DIAM` with the paper's practical configuration: decomposition via
+/// `CLUSTER`, initial `Δ` = average edge weight, `τ` chosen so the quotient
+/// graph stays below `target_quotient` nodes.
+pub fn run_cldiam(
+    graph: &Graph,
+    lower_bound: Dist,
+    target_quotient: usize,
+    seed: u64,
+) -> RunResult {
+    let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), target_quotient);
+    let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
+    let started = Instant::now();
+    let estimate = approximate_diameter(graph, &config);
+    let time_s = started.elapsed().as_secs_f64();
+    RunResult {
+        algorithm: "CL-DIAM".to_string(),
+        estimate: estimate.upper_bound,
+        lower_bound,
+        approximation: estimate.ratio_against(lower_bound),
+        time_s,
+        rounds: estimate.metrics.rounds,
+        work: estimate.metrics.work(),
+        detail: format!(
+            "tau={tau} clusters={} radius={} growing_steps={}",
+            estimate.num_clusters, estimate.radius, estimate.growing_steps
+        ),
+    }
+}
+
+/// Runs the Δ-stepping baseline from `source` with an explicit bucket width
+/// and converts the eccentricity into the 2-approximation of the diameter.
+pub fn run_delta_stepping_with(
+    graph: &Graph,
+    source: NodeId,
+    delta: u32,
+    lower_bound: Dist,
+) -> RunResult {
+    let tracker = CostTracker::new();
+    let started = Instant::now();
+    let outcome = delta_stepping(graph, source, delta, Some(&tracker));
+    let time_s = started.elapsed().as_secs_f64();
+    let estimate = outcome.eccentricity().saturating_mul(2);
+    RunResult {
+        algorithm: "Δ-stepping".to_string(),
+        estimate,
+        lower_bound,
+        approximation: if lower_bound == 0 { 1.0 } else { estimate as f64 / lower_bound as f64 },
+        time_s,
+        rounds: outcome.phases,
+        work: outcome.work(),
+        detail: format!("delta={delta} source={source}"),
+    }
+}
+
+/// Runs the Δ-stepping baseline over a grid of `Δ` values and keeps the
+/// best-performing configuration (fewest rounds, the criterion the paper used
+/// to pick `Δ` on its Spark platform).
+/// Source node used by the Δ-stepping baseline: a pseudo-random node derived
+/// from the seed (the paper starts Δ-stepping from a random node; hashing
+/// avoids always landing on node 0, which on lattice-like graphs is a corner
+/// with worst-case eccentricity).
+pub fn baseline_source(graph: &Graph, seed: u64) -> NodeId {
+    ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % graph.num_nodes().max(1) as u64) as NodeId
+}
+
+pub fn run_delta_stepping_best(graph: &Graph, lower_bound: Dist, seed: u64) -> RunResult {
+    let base = suggest_delta(graph);
+    let source = baseline_source(graph, seed);
+    let candidates = [base, base.saturating_mul(4), base.saturating_mul(16), base.saturating_mul(64)];
+    let mut best: Option<RunResult> = None;
+    for &delta in &candidates {
+        let result = run_delta_stepping_with(graph, source, delta.max(1), lower_bound);
+        let better = match &best {
+            None => true,
+            Some(b) => result.rounds < b.rounds,
+        };
+        if better {
+            best = Some(result);
+        }
+    }
+    best.expect("at least one delta candidate was evaluated")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_gen::{mesh, WeightModel};
+
+    #[test]
+    fn cldiam_run_produces_conservative_estimate() {
+        let g = mesh(20, WeightModel::UniformUnit, 3);
+        let lower = reference_lower_bound(&g, 3);
+        let result = run_cldiam(&g, lower, 500, 3);
+        assert!(result.estimate >= lower);
+        assert!(result.approximation >= 1.0);
+        assert!(result.rounds > 0);
+        assert!(result.work > 0);
+        assert!(result.time_s >= 0.0);
+    }
+
+    #[test]
+    fn delta_stepping_run_produces_conservative_estimate() {
+        let g = mesh(20, WeightModel::UniformUnit, 3);
+        let lower = reference_lower_bound(&g, 3);
+        let result = run_delta_stepping_best(&g, lower, 3);
+        assert!(result.estimate >= lower);
+        assert!(result.approximation >= 1.0);
+        assert!(result.approximation <= 2.1, "2-approximation bound violated: {}", result.approximation);
+        assert!(result.rounds > 0);
+    }
+
+    #[test]
+    fn delta_sweep_picks_fewest_rounds() {
+        let g = mesh(16, WeightModel::UniformUnit, 5);
+        let lower = reference_lower_bound(&g, 5);
+        let best = run_delta_stepping_best(&g, lower, 5);
+        let base = suggest_delta(&g);
+        let fine = run_delta_stepping_with(&g, baseline_source(&g, 5), base, lower);
+        assert!(best.rounds <= fine.rounds);
+    }
+
+    #[test]
+    fn cldiam_uses_fewer_rounds_than_delta_stepping_on_meshes() {
+        // The headline result of the paper (Figure 2): the cluster-based
+        // algorithm needs far fewer rounds than Δ-stepping on high-diameter
+        // graphs.
+        let g = mesh(32, WeightModel::UniformUnit, 9);
+        let lower = reference_lower_bound(&g, 9);
+        let cl = run_cldiam(&g, lower, 500, 9);
+        let ds = run_delta_stepping_best(&g, lower, 9);
+        assert!(
+            cl.rounds < ds.rounds,
+            "CL-DIAM rounds {} not below Δ-stepping rounds {}",
+            cl.rounds,
+            ds.rounds
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Laptop-scale proxies for the paper's benchmark graphs (Table 1).
+//!
+//! Every workload is a [`GraphSpec`] whose size is controlled by a global
+//! `scale` multiplier (`1.0` ≈ a few tens of thousands of nodes, comfortable
+//! on a laptop; larger values stress-test the pipeline). The mapping to the
+//! paper's graphs is documented per workload and in `DESIGN.md`
+//! ("Substitutions").
+
+use cldiam_gen::{GraphSpec, WeightModel};
+use cldiam_graph::{largest_component, Graph};
+
+/// A named benchmark workload: the paper's graph it stands in for, plus the
+/// generator specification at the chosen scale.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The paper's name for the graph (e.g. `roads-USA`).
+    pub paper_name: &'static str,
+    /// Short description of the proxy.
+    pub proxy: String,
+    /// Generator specification.
+    pub spec: GraphSpec,
+    /// Weight model override (`None` uses the family's paper default).
+    pub weight_model: Option<WeightModel>,
+    /// Seed used for generation.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Generates the workload graph (largest connected component, as in the
+    /// paper's experiments).
+    pub fn generate(&self) -> Graph {
+        let raw = match self.weight_model {
+            Some(model) => self.spec.generate_with(model, self.seed),
+            None => self.spec.generate(self.seed),
+        };
+        let (core, _) = largest_component(&raw);
+        core
+    }
+}
+
+/// The collections of workloads used by the different experiments.
+#[derive(Clone, Debug)]
+pub struct WorkloadSet;
+
+impl WorkloadSet {
+    /// The six graphs of Table 2 (and Figures 1–3), scaled by `scale`.
+    pub fn table2(scale: f64, seed: u64) -> Vec<Workload> {
+        let s = scale.max(0.05);
+        let side = |base: f64| ((base * s.sqrt()).round() as usize).max(8);
+        let nodes = |base: f64| ((base * s).round() as usize).max(64);
+        let rmat_scale = |base: i32| {
+            let extra = s.log2().round() as i32;
+            (base + extra).clamp(8, 22) as u32
+        };
+        vec![
+            Workload {
+                paper_name: "roads-USA",
+                proxy: format!("synthetic road lattice {0}x{0}", side(160.0)),
+                spec: GraphSpec::RoadNetwork { rows: side(160.0), cols: side(160.0) },
+                weight_model: None,
+                seed,
+            },
+            Workload {
+                paper_name: "roads-CAL",
+                proxy: format!("synthetic road lattice {0}x{0}", side(90.0)),
+                spec: GraphSpec::RoadNetwork { rows: side(90.0), cols: side(90.0) },
+                weight_model: None,
+                seed: seed + 1,
+            },
+            Workload {
+                paper_name: "mesh",
+                proxy: format!("{0}x{0} mesh, uniform (0,1] weights", side(128.0)),
+                spec: GraphSpec::Mesh { side: side(128.0) },
+                weight_model: None,
+                seed: seed + 2,
+            },
+            Workload {
+                paper_name: "livejournal",
+                proxy: format!("preferential attachment, {} nodes", nodes(20_000.0)),
+                spec: GraphSpec::PreferentialAttachment {
+                    nodes: nodes(20_000.0),
+                    edges_per_node: 8,
+                },
+                weight_model: None,
+                seed: seed + 3,
+            },
+            Workload {
+                paper_name: "twitter",
+                proxy: format!("R-MAT({})", rmat_scale(14)),
+                spec: GraphSpec::RMat { scale: rmat_scale(14) },
+                weight_model: None,
+                seed: seed + 4,
+            },
+            Workload {
+                paper_name: "R-MAT(24)",
+                proxy: format!("R-MAT({})", rmat_scale(13)),
+                spec: GraphSpec::RMat { scale: rmat_scale(13) },
+                weight_model: None,
+                seed: seed + 5,
+            },
+        ]
+    }
+
+    /// The two "big graph" workloads of Table 3 (about an order of magnitude
+    /// larger than their Table 2 counterparts, as in the paper).
+    pub fn table3(scale: f64, seed: u64) -> Vec<Workload> {
+        let s = scale.max(0.05);
+        let side = |base: f64| ((base * s.sqrt()).round() as usize).max(8);
+        let rmat_scale = |base: i32| {
+            let extra = s.log2().round() as i32;
+            (base + extra).clamp(10, 23) as u32
+        };
+        vec![
+            Workload {
+                paper_name: "R-MAT(29)",
+                proxy: format!("R-MAT({})", rmat_scale(17)),
+                spec: GraphSpec::RMat { scale: rmat_scale(17) },
+                weight_model: None,
+                seed,
+            },
+            Workload {
+                paper_name: "roads(32)",
+                proxy: format!("path(8) x road lattice {0}x{0}", side(110.0)),
+                spec: GraphSpec::RoadsProduct { s: 8, rows: side(110.0), cols: side(110.0) },
+                weight_model: None,
+                seed: seed + 1,
+            },
+        ]
+    }
+
+    /// The two workloads of the scalability experiment (Figure 4).
+    pub fn figure4(scale: f64, seed: u64) -> Vec<Workload> {
+        let s = scale.max(0.05);
+        let side = |base: f64| ((base * s.sqrt()).round() as usize).max(8);
+        let rmat_scale = |base: i32| {
+            let extra = s.log2().round() as i32;
+            (base + extra).clamp(8, 22) as u32
+        };
+        vec![
+            Workload {
+                paper_name: "R-MAT(26)",
+                proxy: format!("R-MAT({})", rmat_scale(15)),
+                spec: GraphSpec::RMat { scale: rmat_scale(15) },
+                weight_model: None,
+                seed,
+            },
+            Workload {
+                paper_name: "roads(3)",
+                proxy: format!("path(3) x road lattice {0}x{0}", side(110.0)),
+                spec: GraphSpec::RoadsProduct { s: 3, rows: side(110.0), cols: side(110.0) },
+                weight_model: None,
+                seed: seed + 1,
+            },
+        ]
+    }
+
+    /// The §5 initial-Δ workload: a mesh with the paper's bimodal weights.
+    pub fn delta_experiment(scale: f64, seed: u64) -> Workload {
+        let s = scale.max(0.05);
+        let side = ((192.0 * s.sqrt()).round() as usize).max(16);
+        Workload {
+            paper_name: "mesh(2048), bimodal weights",
+            proxy: format!("{side}x{side} mesh, P(w=1)=0.1, P(w=1e-6)=0.9"),
+            spec: GraphSpec::Mesh { side },
+            weight_model: Some(WeightModel::paper_bimodal()),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_six_workloads_with_unique_names() {
+        let ws = WorkloadSet::table2(0.1, 1);
+        assert_eq!(ws.len(), 6);
+        let mut names: Vec<_> = ws.iter().map(|w| w.paper_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn workloads_generate_connected_graphs() {
+        for w in WorkloadSet::table2(0.05, 3) {
+            let g = w.generate();
+            assert!(g.num_nodes() > 32, "{} too small: {}", w.paper_name, g.num_nodes());
+            assert!(cldiam_graph::connected_components(&g).is_connected());
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = WorkloadSet::table2(0.05, 1)[2].generate();
+        let large = WorkloadSet::table2(0.4, 1)[2].generate();
+        assert!(large.num_nodes() > 2 * small.num_nodes());
+    }
+
+    #[test]
+    fn table3_and_figure4_have_two_workloads_each() {
+        assert_eq!(WorkloadSet::table3(0.05, 1).len(), 2);
+        assert_eq!(WorkloadSet::figure4(0.05, 1).len(), 2);
+        let delta = WorkloadSet::delta_experiment(0.05, 1);
+        assert!(delta.proxy.contains("mesh") || delta.proxy.contains('x'));
+    }
+}

@@ -1,0 +1,318 @@
+//! `CLUSTER(G, τ)` — Algorithm 1 of the paper.
+//!
+//! Clusters are grown in stages. In each stage a fresh batch of centers is
+//! selected uniformly at random among the still-uncovered nodes (each with
+//! probability `γ·τ·log n / |uncovered|`, `γ = 4 ln 2`), and the current
+//! clusters — previous ones contracted to their centers plus the new ones —
+//! are grown with Δ-growing steps until at least half of the uncovered nodes
+//! are reached within distance `Δ`; whenever the goal cannot be met, `Δ` is
+//! doubled and the growth continues. Covered nodes are then assigned to their
+//! clusters and the stage's coverage is frozen (the logical equivalent of
+//! procedure `Contract`; see `contract.rs`). When fewer than `8·τ·log n` nodes
+//! remain uncovered, they become singleton clusters.
+//!
+//! Theorem 1: w.h.p. the procedure produces `O(τ log² n)` clusters of radius
+//! `O(R_G(τ) · log n)` using `O(ℓ_{R_G(τ)} · log n)` Δ-growing steps, and the
+//! final threshold satisfies `Δ_end = O(R_G(τ))` (Lemma 1).
+
+use cldiam_mr::CostTracker;
+use rand::{Rng, SeedableRng};
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+use cldiam_graph::{Dist, Graph, NodeId};
+
+use crate::config::ClusterConfig;
+use crate::clustering::Clustering;
+use crate::growing::partial_growth;
+use crate::state::GrowState;
+
+/// The paper's constant `γ = 4 ln 2` used in the center-selection probability.
+pub const GAMMA: f64 = 2.772_588_722_239_781;
+
+/// Runs `CLUSTER(G, τ)` and returns the resulting clustering.
+///
+/// The decomposition is deterministic given `config.seed`. Works on connected
+/// and disconnected graphs alike (nodes unreachable from every selected center
+/// end up as singleton clusters, matching the paper's convention of treating
+/// components independently).
+pub fn cluster(graph: &Graph, config: &ClusterConfig) -> Clustering {
+    let tracker = CostTracker::new();
+    let state = cluster_state(graph, config, &tracker);
+    finalize(graph, state, &tracker)
+}
+
+/// Internal driver shared with `CLUSTER2`: runs the staged decomposition and
+/// returns the raw grow-state plus bookkeeping.
+pub(crate) fn cluster_state(
+    graph: &Graph,
+    config: &ClusterConfig,
+    tracker: &CostTracker,
+) -> ClusterRun {
+    let n = graph.num_nodes();
+    let mut run = ClusterRun {
+        state: GrowState::new(n),
+        delta: config.initial_delta.resolve(graph),
+        growing_steps: 0,
+        stages: 0,
+    };
+    if n == 0 {
+        return run;
+    }
+    let log_n = (n.max(2) as f64).log2();
+    let stop_threshold = (8.0 * config.tau as f64 * log_n).ceil() as usize;
+    // Once Δ exceeds the total edge weight no further doubling can help:
+    // every node reachable from a source has been reached.
+    let delta_cap: Dist = graph.total_weight().saturating_mul(2).max(2);
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+
+    loop {
+        let uncovered = run.state.uncovered_nodes();
+        if uncovered.is_empty() || uncovered.len() < stop_threshold {
+            break;
+        }
+        run.stages += 1;
+
+        // Center selection: each uncovered node independently with probability
+        // γ·τ·log n / |uncovered| (capped at 1).
+        let p = (GAMMA * config.tau as f64 * log_n / uncovered.len() as f64).min(1.0);
+        let mut new_centers: Vec<NodeId> =
+            uncovered.iter().copied().filter(|_| rng.gen::<f64>() < p).collect();
+        if new_centers.is_empty() {
+            // The expected batch size is Θ(τ log n) ≫ 1, so an empty batch is
+            // vanishingly unlikely; force one center to guarantee progress.
+            new_centers.push(uncovered[rng.gen_range(0..uncovered.len())]);
+        }
+
+        // Stage initialization (the pseudocode's re-initialization of the
+        // states): previously covered nodes act as distance-0 sources for
+        // their clusters — the logical form of Contract — and new centers
+        // start their own clusters.
+        run.state.reset_unfrozen();
+        for u in 0..n as NodeId {
+            if run.state.frozen[u as usize] {
+                run.state.set_source(u, 0);
+            }
+        }
+        for &c in &new_centers {
+            run.state.set_center(c);
+        }
+        // One round for selection + state initialization.
+        tracker.add_round();
+        tracker.add_messages(uncovered.len() as u64);
+
+        // Inner loop: grow until at least half of the uncovered nodes are
+        // within distance Δ, doubling Δ whenever the goal cannot be met.
+        let target = uncovered.len().div_ceil(2);
+        loop {
+            let outcome = partial_growth(
+                graph,
+                run.delta as i64,
+                run.delta,
+                &mut run.state,
+                Some(target),
+                config.max_growing_steps_per_phase,
+                Some(tracker),
+            );
+            run.growing_steps += outcome.steps;
+            if outcome.reached_unfrozen >= target {
+                break;
+            }
+            if run.delta >= delta_cap {
+                // Nothing reachable is left within any budget (disconnected
+                // remainder); stop doubling and accept the partial coverage.
+                break;
+            }
+            run.delta = run.delta.saturating_mul(2).min(delta_cap);
+            tracker.add_round();
+        }
+
+        // End of stage: assign reached nodes to their clusters (Contract).
+        run.state.freeze_reached();
+        tracker.add_round();
+    }
+
+    // Remaining uncovered nodes become singleton clusters.
+    for u in run.state.uncovered_nodes() {
+        run.state.set_center(u);
+    }
+    run.state.freeze_reached();
+    tracker.add_round();
+    run
+}
+
+/// Raw output of the staged decomposition, before packaging.
+pub(crate) struct ClusterRun {
+    pub(crate) state: GrowState,
+    pub(crate) delta: Dist,
+    pub(crate) growing_steps: u64,
+    pub(crate) stages: u64,
+}
+
+/// Packages a completed grow-state into a [`Clustering`].
+pub(crate) fn finalize(graph: &Graph, run: ClusterRun, tracker: &CostTracker) -> Clustering {
+    let n = graph.num_nodes();
+    let mut centers: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&u| run.state.center[u as usize] == u)
+        .collect();
+    centers.sort_unstable();
+    let assignment = run.state.center.clone();
+    let dist: Vec<Dist> =
+        run.state.true_dist.iter().map(|&d| if d == Dist::MAX { 0 } else { d }).collect();
+    let radius = dist.iter().copied().max().unwrap_or(0);
+    Clustering {
+        assignment,
+        dist,
+        centers,
+        radius,
+        delta_end: run.delta,
+        growing_steps: run.growing_steps,
+        stages: run.stages,
+        metrics: tracker.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InitialDelta;
+    use cldiam_gen::{mesh, path, preferential_attachment, road_network, WeightModel};
+    use cldiam_graph::largest_component;
+    use cldiam_sssp::dijkstra;
+
+    fn default_config(tau: usize, seed: u64) -> ClusterConfig {
+        ClusterConfig::default().with_tau(tau).with_seed(seed)
+    }
+
+    /// Distances recorded by the clustering must upper-bound the true
+    /// distances to the assigned centers.
+    fn assert_distances_are_upper_bounds(graph: &Graph, clustering: &Clustering) {
+        for &c in &clustering.centers {
+            let sp = dijkstra(graph, c);
+            for u in 0..graph.num_nodes() {
+                if clustering.assignment[u] == c {
+                    assert!(
+                        clustering.dist[u] >= sp.dist[u],
+                        "node {u}: recorded {} < true {}",
+                        clustering.dist[u],
+                        sp.dist[u]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_cover_every_node_on_mesh() {
+        let g = mesh(16, WeightModel::UniformUnit, 3);
+        let clustering = cluster(&g, &default_config(4, 7));
+        clustering.validate(&g).expect("valid clustering");
+        assert!(clustering.num_clusters() < g.num_nodes());
+        assert!(clustering.num_clusters() >= 1);
+        assert_distances_are_upper_bounds(&g, &clustering);
+    }
+
+    #[test]
+    fn works_on_road_networks_with_original_weights() {
+        let (g, _) = largest_component(&road_network(25, 25, 5));
+        let clustering = cluster(&g, &default_config(4, 11));
+        clustering.validate(&g).expect("valid clustering");
+        assert_distances_are_upper_bounds(&g, &clustering);
+        assert!(clustering.radius > 0);
+    }
+
+    #[test]
+    fn works_on_power_law_graphs() {
+        let g = preferential_attachment(800, 3, WeightModel::UniformUnit, 2);
+        let clustering = cluster(&g, &default_config(4, 3));
+        clustering.validate(&g).expect("valid clustering");
+        assert_distances_are_upper_bounds(&g, &clustering);
+    }
+
+    #[test]
+    fn is_deterministic_in_the_seed() {
+        // 400 nodes with τ = 2 so the staged growth actually runs (the
+        // stopping threshold 8·τ·log n is well below n).
+        let g = mesh(20, WeightModel::UniformUnit, 3);
+        let a = cluster(&g, &default_config(2, 9));
+        let b = cluster(&g, &default_config(2, 9));
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.dist, b.dist);
+        let c = cluster(&g, &default_config(2, 10));
+        assert_ne!(a.assignment, c.assignment);
+    }
+
+    #[test]
+    fn larger_tau_gives_more_clusters_and_smaller_radius() {
+        let g = mesh(24, WeightModel::UniformUnit, 3);
+        let coarse = cluster(&g, &default_config(1, 5));
+        let fine = cluster(&g, &default_config(16, 5));
+        assert!(fine.num_clusters() > coarse.num_clusters());
+        assert!(fine.radius <= coarse.radius);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs_with_singletons() {
+        let g = Graph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (4, 5, 3)]);
+        let clustering = cluster(&g, &default_config(1, 1));
+        clustering.validate(&g).expect("valid clustering");
+        // Node 3 is isolated: it must be its own (singleton) cluster.
+        assert_eq!(clustering.assignment[3], 3);
+        assert_eq!(clustering.dist[3], 0);
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        let empty = Graph::empty(0);
+        let c0 = cluster(&empty, &default_config(2, 1));
+        assert_eq!(c0.num_clusters(), 0);
+        let single = Graph::empty(1);
+        let c1 = cluster(&single, &default_config(2, 1));
+        assert_eq!(c1.num_clusters(), 1);
+        assert_eq!(c1.assignment, vec![0]);
+        let pair = path(2, 5);
+        let c2 = cluster(&pair, &default_config(2, 1));
+        c2.validate(&pair).expect("valid clustering");
+    }
+
+    #[test]
+    fn small_tau_on_small_graph_skips_staged_growth() {
+        // When n < 8·τ·log n every node becomes a singleton immediately.
+        let g = path(10, 1);
+        let clustering = cluster(&g, &default_config(64, 1));
+        assert_eq!(clustering.num_clusters(), 10);
+        assert_eq!(clustering.radius, 0);
+        assert_eq!(clustering.stages, 0);
+    }
+
+    #[test]
+    fn growing_steps_and_rounds_are_reported() {
+        let g = mesh(20, WeightModel::UniformUnit, 4);
+        let clustering = cluster(&g, &default_config(2, 6));
+        assert!(clustering.growing_steps > 0);
+        assert!(clustering.metrics.rounds >= clustering.growing_steps);
+        assert!(clustering.metrics.work() > 0);
+        assert!(clustering.stages >= 1);
+    }
+
+    #[test]
+    fn delta_end_tracks_initial_policy() {
+        let g = mesh(16, WeightModel::UniformUnit, 8);
+        let from_min =
+            cluster(&g, &default_config(2, 3).with_initial_delta(InitialDelta::MinWeight));
+        let from_avg =
+            cluster(&g, &default_config(2, 3).with_initial_delta(InitialDelta::AvgWeight));
+        // Starting from the minimum weight requires more doublings but ends in
+        // the same ballpark; both must exceed their starting value.
+        assert!(from_min.delta_end >= Dist::from(g.min_weight().unwrap()));
+        assert!(from_avg.delta_end >= Dist::from(g.avg_weight().unwrap()));
+    }
+
+    #[test]
+    fn step_cap_limits_growing_steps_per_phase() {
+        let g = mesh(20, WeightModel::UniformUnit, 4);
+        let capped = cluster(&g, &default_config(2, 6).with_step_cap(2));
+        capped.validate(&g).expect("valid clustering");
+        // With a cap the algorithm still terminates and covers every node.
+        assert_eq!(capped.assignment.len(), g.num_nodes());
+    }
+}

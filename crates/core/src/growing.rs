@@ -1,0 +1,312 @@
+//! The Δ-growing step and the `PartialGrowth` procedures (Section 3).
+//!
+//! A Δ-growing step performs, in parallel, one wave of Bellman-Ford-style
+//! relaxations restricted to *light* edges and to tentative distances that
+//! stay within the threshold `Δ`: for each node `u` with `d_u < Δ` and each
+//! light edge `(u, v)`, if `d_u + w(u, v) ≤ Δ` and the state of `v` improves,
+//! set `d_v = d_u + w(u, v)` and `c_v = c_u`. When several nodes can update
+//! `v`, the update with the smallest distance — and, secondarily, the one
+//! whose center has the smallest index — wins, which makes the outcome
+//! independent of thread scheduling.
+//!
+//! `PartialGrowth` repeats Δ-growing steps until no state changes or until a
+//! caller-provided coverage goal is reached (half of the uncovered nodes for
+//! `CLUSTER`); `PartialGrowth2` is the same procedure without the coverage
+//! goal. The optional step cap implements the `O(n/τ)` limit of §4.1.
+
+use cldiam_mr::CostTracker;
+use rayon::prelude::*;
+
+use cldiam_graph::{Dist, Graph, NodeId};
+
+use crate::state::{GrowState, NO_CENTER};
+
+/// Counters produced by a single Δ-growing step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepStats {
+    /// Relaxation proposals generated (messages in the MR cost model).
+    pub proposals: u64,
+    /// State updates applied (node updates in the MR cost model).
+    pub updates: u64,
+}
+
+/// Counters produced by a `PartialGrowth` invocation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GrowthOutcome {
+    /// Number of Δ-growing steps executed (one MR round each).
+    pub steps: u64,
+    /// Total relaxation proposals generated.
+    pub proposals: u64,
+    /// Total state updates applied.
+    pub updates: u64,
+    /// Number of unfrozen nodes reached (tentatively covered) when the
+    /// procedure stopped.
+    pub reached_unfrozen: usize,
+}
+
+/// Executes one Δ-growing step from `frontier`.
+///
+/// * `threshold` — the growth threshold `Δ` (signed: `CLUSTER2` sources carry
+///   a rescaled, possibly negative credit).
+/// * `light_limit` — the maximum weight of a traversable (light) edge.
+///
+/// Returns the nodes whose state changed (the next frontier) and the step
+/// counters. Frozen nodes are never updated; they only act as sources.
+pub fn delta_growing_step(
+    graph: &Graph,
+    threshold: i64,
+    light_limit: Dist,
+    state: &mut GrowState,
+    frontier: &[NodeId],
+) -> (Vec<NodeId>, StepStats) {
+    // Generate proposals in parallel. Each proposal is (target, eff, center,
+    // true distance). The frontier only contains reached nodes.
+    let proposals: Vec<(NodeId, i64, NodeId, Dist)> = frontier
+        .par_iter()
+        .flat_map_iter(|&u| {
+            let eff_u = state.eff[u as usize];
+            let center_u = state.center[u as usize];
+            let true_u = state.true_dist[u as usize];
+            let mut local = Vec::new();
+            if eff_u < threshold && center_u != NO_CENTER {
+                for (v, w) in graph.neighbors(u) {
+                    let wd = Dist::from(w);
+                    if wd > light_limit || state.frozen[v as usize] {
+                        continue;
+                    }
+                    let cand = eff_u.saturating_add(wd as i64);
+                    if cand <= threshold {
+                        local.push((v, cand, center_u, true_u.saturating_add(wd)));
+                    }
+                }
+            }
+            local
+        })
+        .collect();
+
+    let mut stats = StepStats { proposals: proposals.len() as u64, updates: 0 };
+
+    // Apply proposals with the paper's tie-break: smallest distance first,
+    // then smallest center index. Application order is irrelevant because the
+    // winning proposal is a minimum.
+    let mut updated: Vec<NodeId> = Vec::new();
+    for (v, eff, center, true_d) in proposals {
+        let vi = v as usize;
+        let better = eff < state.eff[vi] || (eff == state.eff[vi] && center < state.center[vi]);
+        if better {
+            updated.push(v);
+            state.eff[vi] = eff;
+            state.center[vi] = center;
+            state.true_dist[vi] = true_d;
+            stats.updates += 1;
+        }
+    }
+    updated.sort_unstable();
+    updated.dedup();
+    (updated, stats)
+}
+
+/// Repeats Δ-growing steps until no state is updated, until
+/// `stop_at_reached` unfrozen nodes have been reached, or until `max_steps`
+/// steps have been executed. Each step is charged as one MR round to
+/// `tracker`, with its proposals as messages and its updates as node updates.
+///
+/// The initial frontier is every node with a finite effective distance below
+/// the threshold (centers and, in `CLUSTER2`, rescaled covered sources).
+pub fn partial_growth(
+    graph: &Graph,
+    threshold: i64,
+    light_limit: Dist,
+    state: &mut GrowState,
+    stop_at_reached: Option<usize>,
+    max_steps: Option<usize>,
+    tracker: Option<&CostTracker>,
+) -> GrowthOutcome {
+    let mut outcome = GrowthOutcome::default();
+
+    // Initial frontier: every potential source.
+    let mut frontier: Vec<NodeId> = (0..state.len() as NodeId)
+        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .collect();
+
+    // Unfrozen nodes already reached (eff ≤ threshold ⇒ reached).
+    let mut reached = (0..state.len())
+        .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
+        .count();
+    outcome.reached_unfrozen = reached;
+
+    if stop_at_reached.is_some_and(|target| reached >= target) {
+        return outcome;
+    }
+
+    while !frontier.is_empty() {
+        if max_steps.is_some_and(|cap| outcome.steps as usize >= cap) {
+            break;
+        }
+        let (updated, stats) = delta_growing_step(graph, threshold, light_limit, state, &frontier);
+        outcome.steps += 1;
+        outcome.proposals += stats.proposals;
+        outcome.updates += stats.updates;
+        if let Some(t) = tracker {
+            t.add_round();
+            t.add_messages(stats.proposals);
+            t.add_node_updates(stats.updates);
+        }
+        if updated.is_empty() {
+            break;
+        }
+        if stop_at_reached.is_some() {
+            // Re-count reached unfrozen nodes only when an early-stop target is
+            // set (once reached, a node stays reached, so the count is
+            // monotone).
+            reached = (0..state.len())
+                .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
+                .count();
+            outcome.reached_unfrozen = reached;
+            if stop_at_reached.is_some_and(|target| reached >= target) {
+                break;
+            }
+        }
+        frontier = updated;
+    }
+    outcome.reached_unfrozen = (0..state.len())
+        .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
+        .count();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::EFF_INFINITY;
+    use cldiam_gen::weighted_path;
+
+    fn init_state_with_center(n: usize, center: NodeId) -> GrowState {
+        let mut s = GrowState::new(n);
+        s.set_center(center);
+        s
+    }
+
+    #[test]
+    fn growing_step_respects_threshold_and_light_edges() {
+        // Path 0 -1- 1 -5- 2 -1- 3 with Δ = 3: the weight-5 edge is heavy and
+        // must not be traversed.
+        let g = weighted_path(&[1, 5, 1]);
+        let mut s = init_state_with_center(4, 0);
+        let (updated, stats) = delta_growing_step(&g, 3, 3, &mut s, &[0]);
+        assert_eq!(updated, vec![1]);
+        assert_eq!(stats.updates, 1);
+        assert_eq!(s.center[1], 0);
+        assert_eq!(s.eff[1], 1);
+        assert_eq!(s.eff[2], EFF_INFINITY);
+    }
+
+    #[test]
+    fn growing_step_enforces_distance_budget() {
+        // Edges all light (weight 2) but Δ = 3 allows only one hop.
+        let g = weighted_path(&[2, 2, 2]);
+        let mut s = init_state_with_center(4, 0);
+        let (updated, _) = delta_growing_step(&g, 3, 3, &mut s, &[0]);
+        assert_eq!(updated, vec![1]);
+        let (updated2, _) = delta_growing_step(&g, 3, 3, &mut s, &updated);
+        // 0 -> 1 costs 2; 1 -> 2 would cost 4 > 3: no growth.
+        assert!(updated2.is_empty());
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_distance_then_smaller_center() {
+        // Node 1 is reachable from center 0 (weight 4) and center 2 (weight 2).
+        let g = cldiam_graph::Graph::from_edges(3, &[(0, 1, 4), (2, 1, 2)]);
+        let mut s = GrowState::new(3);
+        s.set_center(0);
+        s.set_center(2);
+        let (_, _) = delta_growing_step(&g, 10, 10, &mut s, &[0, 2]);
+        assert_eq!(s.center[1], 2);
+        assert_eq!(s.eff[1], 2);
+
+        // Equal distances: the smaller center index wins.
+        let g2 = cldiam_graph::Graph::from_edges(3, &[(0, 1, 3), (2, 1, 3)]);
+        let mut s2 = GrowState::new(3);
+        s2.set_center(0);
+        s2.set_center(2);
+        let (_, _) = delta_growing_step(&g2, 10, 10, &mut s2, &[0, 2]);
+        assert_eq!(s2.center[1], 0);
+    }
+
+    #[test]
+    fn frozen_nodes_are_sources_but_not_targets() {
+        let g = weighted_path(&[1, 1]);
+        let mut s = GrowState::new(3);
+        s.set_center(0);
+        s.center[1] = 0;
+        s.eff[1] = 1;
+        s.true_dist[1] = 1;
+        s.freeze_reached();
+        // New stage: node 1 is a frozen source with credit 0; node 0 frozen too.
+        s.set_source(0, 0);
+        s.set_source(1, 0);
+        let (updated, _) = delta_growing_step(&g, 5, 5, &mut s, &[0, 1]);
+        assert_eq!(updated, vec![2]);
+        // Node 2 inherits node 1's cluster (center 0) and accumulates the true
+        // distance through it.
+        assert_eq!(s.center[2], 0);
+        assert_eq!(s.true_dist[2], 2);
+        // Frozen node 1 kept its original state.
+        assert_eq!(s.eff[1], 0);
+        assert_eq!(s.true_dist[1], 1);
+    }
+
+    #[test]
+    fn partial_growth_runs_to_fixpoint() {
+        let g = weighted_path(&[1, 1, 1, 1]);
+        let mut s = init_state_with_center(5, 0);
+        let outcome = partial_growth(&g, 10, 10, &mut s, None, None, None);
+        assert_eq!(outcome.reached_unfrozen, 5);
+        assert!(outcome.steps >= 4);
+        assert_eq!(s.true_dist[4], 4);
+    }
+
+    #[test]
+    fn partial_growth_stops_at_coverage_target() {
+        let g = weighted_path(&[1, 1, 1, 1, 1, 1, 1, 1]);
+        let mut s = init_state_with_center(9, 0);
+        let outcome = partial_growth(&g, 100, 100, &mut s, Some(3), None, None);
+        assert!(outcome.reached_unfrozen >= 3);
+        assert!(outcome.reached_unfrozen < 9, "stopped early, reached {}", outcome.reached_unfrozen);
+    }
+
+    #[test]
+    fn partial_growth_honors_step_cap() {
+        let g = weighted_path(&[1; 20]);
+        let mut s = init_state_with_center(21, 0);
+        let outcome = partial_growth(&g, 1000, 1000, &mut s, None, Some(3), None);
+        assert_eq!(outcome.steps, 3);
+        assert_eq!(outcome.reached_unfrozen, 4);
+    }
+
+    #[test]
+    fn partial_growth_charges_tracker() {
+        let g = weighted_path(&[1, 1, 1]);
+        let mut s = init_state_with_center(4, 0);
+        let tracker = CostTracker::new();
+        let outcome = partial_growth(&g, 10, 10, &mut s, None, None, Some(&tracker));
+        let snap = tracker.snapshot();
+        assert_eq!(snap.rounds, outcome.steps);
+        assert_eq!(snap.messages, outcome.proposals);
+        assert_eq!(snap.node_updates, outcome.updates);
+    }
+
+    #[test]
+    fn growing_matches_restricted_dijkstra_distances() {
+        // With a single center, an unrestricted growth (huge Δ) must reproduce
+        // exact shortest-path distances.
+        let g = cldiam_gen::mesh(8, cldiam_gen::WeightModel::UniformUnit, 3);
+        let mut s = init_state_with_center(g.num_nodes(), 0);
+        partial_growth(&g, i64::MAX - 1, Dist::MAX, &mut s, None, None, None);
+        let sp = cldiam_sssp::dijkstra(&g, 0);
+        for u in 0..g.num_nodes() {
+            assert_eq!(s.true_dist[u], sp.dist[u], "node {u}");
+            assert_eq!(s.eff[u], sp.dist[u] as i64, "node {u}");
+        }
+    }
+}

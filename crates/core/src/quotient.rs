@@ -1,0 +1,136 @@
+//! The weighted quotient graph of a clustering (Section 4).
+//!
+//! Nodes of the quotient graph correspond to clusters. For every edge
+//! `(u, v)` of the original graph whose endpoints lie in different clusters,
+//! the quotient contains an edge between those clusters with weight
+//! `w(u, v) + d_u + d_v`; among parallel edges only the lightest is kept. The
+//! diameter of the original graph is then estimated as
+//! `Φ_approx(G) = Φ(G_C) + 2·R`, which is never below the true diameter when
+//! the `d_u` are genuine distance upper bounds.
+
+use std::collections::HashMap;
+
+use cldiam_graph::{Dist, Graph, GraphBuilder, NodeId, Weight};
+
+use crate::clustering::Clustering;
+
+/// The quotient graph of a clustering, together with the cluster-center
+/// labels of its nodes.
+#[derive(Clone, Debug)]
+pub struct QuotientGraph {
+    /// The quotient graph itself: node `i` represents the cluster centered at
+    /// `cluster_centers[i]`.
+    pub graph: Graph,
+    /// Original center node of every quotient node.
+    pub cluster_centers: Vec<NodeId>,
+    /// Number of original inter-cluster edges inspected (before keeping only
+    /// the minimum-weight parallel edge per cluster pair).
+    pub boundary_edges: usize,
+}
+
+impl QuotientGraph {
+    /// Quotient node id of the cluster centered at `center`, if any.
+    pub fn node_of_center(&self, center: NodeId) -> Option<NodeId> {
+        self.cluster_centers.binary_search(&center).ok().map(|i| i as NodeId)
+    }
+}
+
+/// Builds the weighted quotient graph of `clustering` over `graph`.
+///
+/// Quotient edge weights are clamped to the maximum representable edge weight
+/// (`u32::MAX`); with the fixed-point scale used in this workspace that limit
+/// is far beyond any benchmark instance.
+pub fn quotient_graph(graph: &Graph, clustering: &Clustering) -> QuotientGraph {
+    let centers = clustering.centers.clone();
+    let index_of: HashMap<NodeId, NodeId> =
+        centers.iter().enumerate().map(|(i, &c)| (c, i as NodeId)).collect();
+
+    let mut builder = GraphBuilder::new(centers.len());
+    let mut boundary_edges = 0usize;
+    for (u, v, w) in graph.edges() {
+        let cu = clustering.assignment[u as usize];
+        let cv = clustering.assignment[v as usize];
+        if cu == cv {
+            continue;
+        }
+        boundary_edges += 1;
+        let weight = Dist::from(w)
+            .saturating_add(clustering.dist[u as usize])
+            .saturating_add(clustering.dist[v as usize]);
+        let clamped: Weight = weight.min(Dist::from(Weight::MAX)) as Weight;
+        builder.add_edge(index_of[&cu], index_of[&cv], clamped.max(1));
+    }
+    QuotientGraph { graph: builder.build(), cluster_centers: centers, boundary_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_mr::CostMetrics;
+
+    fn toy() -> (Graph, Clustering) {
+        // Two clusters: {0,1} centered at 0 and {2,3} centered at 3, joined by
+        // the edge (1,2) of weight 7 plus a second boundary edge (0,2) of
+        // weight 100.
+        let graph = Graph::from_edges(4, &[(0, 1, 2), (1, 2, 7), (0, 2, 100), (2, 3, 3)]);
+        let clustering = Clustering {
+            assignment: vec![0, 0, 3, 3],
+            dist: vec![0, 2, 3, 0],
+            centers: vec![0, 3],
+            radius: 3,
+            delta_end: 4,
+            growing_steps: 1,
+            stages: 1,
+            metrics: CostMetrics::default(),
+        };
+        (graph, clustering)
+    }
+
+    #[test]
+    fn quotient_has_one_node_per_cluster() {
+        let (graph, clustering) = toy();
+        let q = quotient_graph(&graph, &clustering);
+        assert_eq!(q.graph.num_nodes(), 2);
+        assert_eq!(q.cluster_centers, vec![0, 3]);
+        assert_eq!(q.node_of_center(3), Some(1));
+        assert_eq!(q.node_of_center(1), None);
+    }
+
+    #[test]
+    fn quotient_edge_takes_minimum_augmented_weight() {
+        let (graph, clustering) = toy();
+        let q = quotient_graph(&graph, &clustering);
+        // Edge (1,2): 7 + d1 + d2 = 7 + 2 + 3 = 12. Edge (0,2): 100 + 0 + 3 =
+        // 103. The minimum, 12, must be kept.
+        assert_eq!(q.graph.num_edges(), 1);
+        assert_eq!(q.graph.edge_weight(0, 1), Some(12));
+        assert_eq!(q.boundary_edges, 2);
+    }
+
+    #[test]
+    fn intra_cluster_edges_are_dropped() {
+        let (graph, clustering) = toy();
+        let q = quotient_graph(&graph, &clustering);
+        // Edges (0,1) and (2,3) are internal and contribute nothing.
+        assert_eq!(q.graph.num_edges() + 2, graph.num_edges() - 1);
+    }
+
+    #[test]
+    fn single_cluster_gives_edgeless_quotient() {
+        let graph = Graph::from_edges(3, &[(0, 1, 1), (1, 2, 1)]);
+        let clustering = Clustering {
+            assignment: vec![0, 0, 0],
+            dist: vec![0, 1, 2],
+            centers: vec![0],
+            radius: 2,
+            delta_end: 2,
+            growing_steps: 2,
+            stages: 1,
+            metrics: CostMetrics::default(),
+        };
+        let q = quotient_graph(&graph, &clustering);
+        assert_eq!(q.graph.num_nodes(), 1);
+        assert_eq!(q.graph.num_edges(), 0);
+        assert_eq!(q.boundary_edges, 0);
+    }
+}

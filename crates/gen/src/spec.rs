@@ -1,0 +1,174 @@
+//! Named benchmark workloads.
+//!
+//! [`GraphSpec`] gives every benchmark family of Table 1 a name and a
+//! parameter set so the harness, the examples and the tests can refer to the
+//! same workloads. `generate` is deterministic in the seed.
+
+use cldiam_graph::{largest_component, Graph};
+
+use crate::mesh::mesh;
+use crate::random::{gnm_random, preferential_attachment};
+use crate::rmat::{rmat, RmatParams};
+use crate::roads::{road_network, roads_product};
+use crate::weights::{assign_weights, WeightModel};
+
+/// A named, parameterized benchmark graph family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GraphSpec {
+    /// Synthetic road network on an `rows × cols` lattice (proxy for
+    /// roads-USA / roads-CAL), original integer weights.
+    RoadNetwork {
+        /// Lattice rows.
+        rows: usize,
+        /// Lattice columns.
+        cols: usize,
+    },
+    /// `mesh(S)`: an `S × S` square mesh with uniform `(0, 1]` weights.
+    Mesh {
+        /// Side length `S`.
+        side: usize,
+    },
+    /// `R-MAT(S)`: `2^S` nodes, `16·2^S` edges, uniform `(0, 1]` weights
+    /// (proxy for twitter and for the paper's own R-MAT family).
+    RMat {
+        /// `log2` of the number of nodes.
+        scale: u32,
+    },
+    /// Preferential-attachment graph (proxy for livejournal), uniform
+    /// `(0, 1]` weights.
+    PreferentialAttachment {
+        /// Number of nodes.
+        nodes: usize,
+        /// Edges added per arriving node.
+        edges_per_node: usize,
+    },
+    /// Erdős–Rényi `G(n, m)`, uniform `(0, 1]` weights (used in ablations).
+    Gnm {
+        /// Number of nodes.
+        nodes: usize,
+        /// Number of edges.
+        edges: usize,
+    },
+    /// `roads(S)`: cartesian product of a unit-weight path of `S` nodes with
+    /// a synthetic road network on an `rows × cols` lattice.
+    RoadsProduct {
+        /// Path length `S`.
+        s: usize,
+        /// Base lattice rows.
+        rows: usize,
+        /// Base lattice columns.
+        cols: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Human-readable label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            GraphSpec::RoadNetwork { rows, cols } => format!("roads-{rows}x{cols}"),
+            GraphSpec::Mesh { side } => format!("mesh({side})"),
+            GraphSpec::RMat { scale } => format!("R-MAT({scale})"),
+            GraphSpec::PreferentialAttachment { nodes, .. } => format!("social-ba({nodes})"),
+            GraphSpec::Gnm { nodes, edges } => format!("gnm({nodes},{edges})"),
+            GraphSpec::RoadsProduct { s, rows, cols } => format!("roads({s})x{rows}x{cols}"),
+        }
+    }
+
+    /// The weight model the paper uses for this family.
+    pub fn default_weight_model(&self) -> WeightModel {
+        match self {
+            GraphSpec::RoadNetwork { .. } | GraphSpec::RoadsProduct { .. } => WeightModel::Original,
+            _ => WeightModel::UniformUnit,
+        }
+    }
+
+    /// Generates the raw graph (possibly disconnected) with the family's
+    /// default weight model.
+    pub fn generate(&self, seed: u64) -> Graph {
+        self.generate_with(self.default_weight_model(), seed)
+    }
+
+    /// Generates the raw graph with an explicit weight model.
+    pub fn generate_with(&self, model: WeightModel, seed: u64) -> Graph {
+        let topology = match *self {
+            GraphSpec::RoadNetwork { rows, cols } => road_network(rows, cols, seed),
+            GraphSpec::Mesh { side } => return mesh(side, model, seed),
+            GraphSpec::RMat { scale } => return rmat(RmatParams::paper(scale), model, seed),
+            GraphSpec::PreferentialAttachment { nodes, edges_per_node } => {
+                return preferential_attachment(nodes, edges_per_node, model, seed)
+            }
+            GraphSpec::Gnm { nodes, edges } => return gnm_random(nodes, edges, model, seed),
+            GraphSpec::RoadsProduct { s, rows, cols } => {
+                roads_product(s, &road_network(rows, cols, seed))
+            }
+        };
+        match model {
+            WeightModel::Original => topology,
+            other => assign_weights(&topology, other, seed.wrapping_add(0xDEAD_BEEF)),
+        }
+    }
+
+    /// Generates the largest connected component of the family (what every
+    /// experiment actually runs on). Returns the connected graph.
+    pub fn generate_connected(&self, seed: u64) -> Graph {
+        let raw = self.generate(seed);
+        let (core, _) = largest_component(&raw);
+        core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_graph::connected_components;
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        let specs = [
+            GraphSpec::RoadNetwork { rows: 10, cols: 20 },
+            GraphSpec::Mesh { side: 8 },
+            GraphSpec::RMat { scale: 9 },
+            GraphSpec::PreferentialAttachment { nodes: 100, edges_per_node: 3 },
+            GraphSpec::Gnm { nodes: 50, edges: 100 },
+            GraphSpec::RoadsProduct { s: 2, rows: 5, cols: 5 },
+        ];
+        let labels: Vec<_> = specs.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(GraphSpec::Mesh { side: 8 }.label(), "mesh(8)");
+    }
+
+    #[test]
+    fn road_families_keep_original_weights() {
+        assert_eq!(
+            GraphSpec::RoadNetwork { rows: 4, cols: 4 }.default_weight_model(),
+            WeightModel::Original
+        );
+        assert_eq!(GraphSpec::Mesh { side: 4 }.default_weight_model(), WeightModel::UniformUnit);
+    }
+
+    #[test]
+    fn generate_connected_yields_single_component() {
+        let spec = GraphSpec::RoadNetwork { rows: 20, cols: 20 };
+        let g = spec.generate_connected(3);
+        assert!(connected_components(&g).is_connected());
+        assert!(g.num_nodes() > 100);
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_spec() {
+        let spec = GraphSpec::RMat { scale: 7 };
+        assert_eq!(spec.generate(5), spec.generate(5));
+    }
+
+    #[test]
+    fn explicit_weight_model_overrides_default() {
+        let spec = GraphSpec::Mesh { side: 6 };
+        let unit = spec.generate_with(WeightModel::Unit, 1);
+        assert_eq!(unit.max_weight(), Some(1));
+        let uniform = spec.generate_with(WeightModel::UniformUnit, 1);
+        assert!(uniform.max_weight().unwrap() > 1);
+    }
+}

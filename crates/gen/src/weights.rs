@@ -1,0 +1,171 @@
+//! Edge-weight models.
+//!
+//! The paper's convention: road networks keep their original integer weights;
+//! every other graph, being born unweighted, receives weights drawn uniformly
+//! at random from `(0, 1]` (stored in fixed point, see
+//! [`cldiam_graph::WEIGHT_SCALE`]). The §5 initial-`Δ` experiment additionally
+//! uses a bimodal distribution (weight 1 with probability 0.1 and `10⁻⁶`
+//! otherwise).
+
+use cldiam_graph::{weight_from_unit, Graph, Weight};
+use rand::{Rng, SeedableRng};
+use rand_xoshiro::Xoshiro256PlusPlus;
+
+/// A distribution of edge weights.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightModel {
+    /// Every edge has weight 1 (unweighted graphs).
+    Unit,
+    /// Uniform real weights in `(0, 1]`, stored in fixed point — the paper's
+    /// convention for graphs that are born unweighted.
+    UniformUnit,
+    /// Uniform integer weights in `lo..=hi`.
+    UniformRange {
+        /// Smallest weight (clamped to ≥ 1).
+        lo: Weight,
+        /// Largest weight.
+        hi: Weight,
+    },
+    /// The §5 experiment: weight `heavy` with probability `heavy_prob`, and
+    /// `light` otherwise. With the paper's values (`heavy` = 1, `light` =
+    /// `10⁻⁶`, `heavy_prob` = 0.1) a mesh can be covered by clusters that never
+    /// traverse a heavy edge.
+    Bimodal {
+        /// The rare, heavy weight.
+        heavy: Weight,
+        /// The common, light weight.
+        light: Weight,
+        /// Probability of drawing the heavy weight.
+        heavy_prob: f64,
+    },
+    /// Keep whatever weight the topology generator produced (road networks).
+    Original,
+}
+
+impl WeightModel {
+    /// The paper's bimodal configuration for the initial-`Δ` experiment:
+    /// weight 1 with probability 0.1 and `10⁻⁶` otherwise (both in fixed
+    /// point).
+    pub fn paper_bimodal() -> Self {
+        WeightModel::Bimodal { heavy: weight_from_unit(1.0), light: 1, heavy_prob: 0.1 }
+    }
+
+    /// Draws one weight from the model (`Original` draws nothing and returns
+    /// `current`).
+    pub fn sample<R: Rng>(&self, rng: &mut R, current: Weight) -> Weight {
+        match *self {
+            WeightModel::Unit => 1,
+            WeightModel::UniformUnit => {
+                // Uniform in (0, 1]: take 1 - U[0,1) to exclude zero.
+                weight_from_unit(1.0 - rng.gen::<f64>())
+            }
+            WeightModel::UniformRange { lo, hi } => {
+                let lo = lo.max(1);
+                let hi = hi.max(lo);
+                rng.gen_range(lo..=hi)
+            }
+            WeightModel::Bimodal { heavy, light, heavy_prob } => {
+                if rng.gen::<f64>() < heavy_prob {
+                    heavy.max(1)
+                } else {
+                    light.max(1)
+                }
+            }
+            WeightModel::Original => current,
+        }
+    }
+
+    /// Short human-readable name used in experiment logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WeightModel::Unit => "unit",
+            WeightModel::UniformUnit => "uniform(0,1]",
+            WeightModel::UniformRange { .. } => "uniform-int",
+            WeightModel::Bimodal { .. } => "bimodal",
+            WeightModel::Original => "original",
+        }
+    }
+}
+
+/// Re-draws every edge weight of `graph` according to `model`, deterministically
+/// from `seed`. `WeightModel::Original` returns a clone of the input.
+pub fn assign_weights(graph: &Graph, model: WeightModel, seed: u64) -> Graph {
+    if model == WeightModel::Original {
+        return graph.clone();
+    }
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    cldiam_graph::ops::map_weights(graph, |_, _, w| model.sample(&mut rng, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_graph::WEIGHT_SCALE;
+
+    fn any_rng() -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(1)
+    }
+
+    #[test]
+    fn unit_model_is_constant() {
+        let mut rng = any_rng();
+        assert_eq!(WeightModel::Unit.sample(&mut rng, 99), 1);
+    }
+
+    #[test]
+    fn uniform_unit_stays_in_range() {
+        let mut rng = any_rng();
+        for _ in 0..1000 {
+            let w = WeightModel::UniformUnit.sample(&mut rng, 1);
+            assert!(w >= 1 && w <= WEIGHT_SCALE);
+        }
+    }
+
+    #[test]
+    fn uniform_range_respects_bounds() {
+        let mut rng = any_rng();
+        let model = WeightModel::UniformRange { lo: 10, hi: 20 };
+        for _ in 0..1000 {
+            let w = model.sample(&mut rng, 1);
+            assert!((10..=20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bimodal_frequencies_are_plausible() {
+        let mut rng = any_rng();
+        let model = WeightModel::paper_bimodal();
+        let heavy = weight_from_unit(1.0);
+        let mut heavy_count = 0;
+        for _ in 0..10_000 {
+            if model.sample(&mut rng, 1) == heavy {
+                heavy_count += 1;
+            }
+        }
+        // Expect ~1000 heavy draws out of 10_000.
+        assert!((700..1300).contains(&heavy_count), "heavy draws: {heavy_count}");
+    }
+
+    #[test]
+    fn original_model_preserves_weights() {
+        let mut rng = any_rng();
+        assert_eq!(WeightModel::Original.sample(&mut rng, 1234), 1234);
+    }
+
+    #[test]
+    fn assign_weights_is_deterministic() {
+        let g = cldiam_graph::Graph::from_edges(4, &[(0, 1, 7), (1, 2, 7), (2, 3, 7)]);
+        let a = assign_weights(&g, WeightModel::UniformUnit, 5);
+        let b = assign_weights(&g, WeightModel::UniformUnit, 5);
+        let c = assign_weights(&g, WeightModel::UniformUnit, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn assign_weights_original_is_identity() {
+        let g = cldiam_graph::Graph::from_edges(3, &[(0, 1, 3), (1, 2, 9)]);
+        assert_eq!(assign_weights(&g, WeightModel::Original, 0), g);
+    }
+}

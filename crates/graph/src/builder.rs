@@ -1,0 +1,193 @@
+//! Edge-list accumulator producing canonical CSR graphs.
+
+use rayon::prelude::*;
+
+use crate::csr::Graph;
+use crate::weight::{NodeId, Weight};
+
+/// Accumulates undirected weighted edges and produces a [`Graph`].
+///
+/// The builder enforces the invariants every algorithm in the workspace relies
+/// on:
+///
+/// * self loops are dropped,
+/// * parallel edges are collapsed keeping the *minimum* weight (a parallel
+///   edge can never shorten a shortest path otherwise),
+/// * the edge set is symmetrized (each edge stored in both endpoints'
+///   adjacency lists),
+/// * adjacency lists are sorted by target node.
+///
+/// Building is parallelized with rayon (sorting dominates) so that the large
+/// synthetic benchmark graphs can be materialized quickly.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with (at least) `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates a builder with pre-reserved edge capacity.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::with_capacity(edge_capacity) }
+    }
+
+    /// Number of nodes the built graph will have (grows automatically when an
+    /// edge references a larger node id).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of raw (pre-deduplication) edges added so far.
+    pub fn num_raw_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Self loops are silently ignored; zero weights are clamped to 1 so that
+    /// the positivity invariant always holds.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        if u == v {
+            return;
+        }
+        let w = w.max(1);
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.num_nodes = self.num_nodes.max(b as usize + 1);
+        self.edges.push((a, b, w));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId, Weight)>>(&mut self, iter: I) {
+        for (u, v, w) in iter {
+            self.add_edge(u, v, w);
+        }
+    }
+
+    /// Consumes the builder and produces the canonical CSR graph.
+    pub fn build(mut self) -> Graph {
+        let n = self.num_nodes;
+        // Canonical order: by (u, v, w); keeping the first of each (u, v) run
+        // keeps the minimum weight.
+        self.edges.par_sort_unstable();
+        self.edges.dedup_by_key(|e| (e.0, e.1));
+
+        let mut degrees = vec![0usize; n];
+        for &(u, v, _) in &self.edges {
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; acc];
+        let mut weights = vec![0 as Weight; acc];
+        for &(u, v, w) in &self.edges {
+            let iu = cursor[u as usize];
+            targets[iu] = v;
+            weights[iu] = w;
+            cursor[u as usize] += 1;
+            let iv = cursor[v as usize];
+            targets[iv] = u;
+            weights[iv] = w;
+            cursor[v as usize] += 1;
+        }
+        // Sort each adjacency list by target (weights follow).
+        let mut perm: Vec<(NodeId, Weight)> = Vec::new();
+        for u in 0..n {
+            let range = offsets[u]..offsets[u + 1];
+            perm.clear();
+            perm.extend(targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()));
+            perm.sort_unstable_by_key(|&(t, _)| t);
+            for (i, &(t, w)) in range.clone().zip(perm.iter()) {
+                targets[i] = t;
+                weights[i] = w;
+            }
+        }
+        Graph::from_csr(offsets, targets, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_keeps_min_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 7);
+        b.add_edge(1, 0, 3);
+        b.add_edge(0, 1, 9);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), Some(3));
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(1, 1, 5);
+        b.add_edge(0, 2, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn zero_weight_clamped_to_one() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+        let g = b.build();
+        assert_eq!(g.edge_weight(0, 1), Some(1));
+    }
+
+    #[test]
+    fn node_count_grows_with_edges() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 9, 2);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(9), 1);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn adjacency_sorted_by_target() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(2, 4, 1);
+        b.add_edge(2, 0, 1);
+        b.add_edge(2, 3, 1);
+        b.add_edge(2, 1, 1);
+        let g = b.build();
+        let neigh: Vec<_> = g.neighbors(2).map(|(v, _)| v).collect();
+        assert_eq!(neigh, vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn extend_edges_matches_add_edge() {
+        let edges = vec![(0, 1, 2), (1, 2, 3), (2, 3, 4)];
+        let mut a = GraphBuilder::new(4);
+        a.extend_edges(edges.iter().copied());
+        let mut b = GraphBuilder::new(4);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, w);
+        }
+        assert_eq!(a.build(), b.build());
+    }
+
+    #[test]
+    fn build_empty() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Connected components.
+//!
+//! The paper defines the diameter of a disconnected graph as the largest
+//! distance between two nodes *in the same connected component*, and the
+//! benchmark harness runs every algorithm on the largest component of the
+//! generated graphs (as is standard for the SNAP/LAW social networks). Two
+//! implementations are provided: a sequential union-find (the oracle) and a
+//! parallel label-propagation variant used for large graphs.
+
+use rayon::prelude::*;
+
+use crate::csr::Graph;
+use crate::ops;
+use crate::weight::NodeId;
+
+/// Result of a connected-components computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// `labels[u]` is the component identifier of node `u`. Identifiers are
+    /// dense in `0..count`, assigned in order of smallest member node.
+    pub labels: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl ComponentLabels {
+    /// Sizes of each component, indexed by component identifier.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Identifier of the largest component (ties broken by smaller id).
+    pub fn largest(&self) -> Option<u32> {
+        let sizes = self.sizes();
+        sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(id, &s)| (s, std::cmp::Reverse(id)))
+            .map(|(id, _)| id as u32)
+    }
+
+    /// `true` if every node is in a single component.
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+/// Sequential union-find with path halving and union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Computes connected components with a sequential union-find.
+pub fn connected_components(graph: &Graph) -> ComponentLabels {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for (u, v, _) in graph.edges() {
+        uf.union(u, v);
+    }
+    canonicalize(n, |u| uf.find(u))
+}
+
+/// Computes connected components with parallel label propagation
+/// (hook-and-shortcut). Produces the same labelling as
+/// [`connected_components`].
+pub fn connected_components_parallel(graph: &Graph) -> ComponentLabels {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return ComponentLabels { labels: Vec::new(), count: 0 };
+    }
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    loop {
+        // Hook: every node adopts the minimum label in its closed neighborhood.
+        let next: Vec<u32> = (0..n)
+            .into_par_iter()
+            .map(|u| {
+                let mut best = labels[u];
+                for (v, _) in graph.neighbors(u as NodeId) {
+                    best = best.min(labels[v as usize]);
+                }
+                best
+            })
+            .collect();
+        // Shortcut: pointer jumping to accelerate convergence.
+        let jumped: Vec<u32> =
+            (0..n).into_par_iter().map(|u| next[next[u] as usize]).collect();
+        let changed = jumped.par_iter().zip(labels.par_iter()).any(|(a, b)| a != b);
+        labels = jumped;
+        if !changed {
+            break;
+        }
+    }
+    // Labels now point to the minimum node of each component (after full
+    // convergence of min-propagation). Converge fully: repeat pointer jumping
+    // until stable in case of long chains.
+    canonicalize(n, |u| {
+        let mut x = u;
+        while labels[x as usize] != x {
+            x = labels[x as usize];
+        }
+        x
+    })
+}
+
+fn canonicalize(n: usize, mut root_of: impl FnMut(u32) -> u32) -> ComponentLabels {
+    let mut remap = vec![u32::MAX; n];
+    let mut labels = vec![0u32; n];
+    let mut count = 0u32;
+    for u in 0..n as u32 {
+        let root = root_of(u);
+        if remap[root as usize] == u32::MAX {
+            remap[root as usize] = count;
+            count += 1;
+        }
+        labels[u as usize] = remap[root as usize];
+    }
+    ComponentLabels { labels, count: count as usize }
+}
+
+/// Extracts the largest connected component as a standalone graph.
+///
+/// Returns the subgraph and the mapping `new id -> original id`.
+pub fn largest_component(graph: &Graph) -> (Graph, Vec<NodeId>) {
+    let labels = connected_components(graph);
+    match labels.largest() {
+        None => (Graph::empty(0), Vec::new()),
+        Some(target) => {
+            let keep: Vec<NodeId> = (0..graph.num_nodes() as NodeId)
+                .filter(|&u| labels.labels[u as usize] == target)
+                .collect();
+            let sub = ops::induced_subgraph(graph, &keep);
+            (sub, keep)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> Graph {
+        // {0,1,2} triangle and {3,4} edge, node 5 isolated.
+        Graph::from_edges(
+            6,
+            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 5)],
+        )
+    }
+
+    #[test]
+    fn union_find_counts_components() {
+        let labels = connected_components(&two_components());
+        assert_eq!(labels.count, 3);
+        assert_eq!(labels.labels[0], labels.labels[2]);
+        assert_eq!(labels.labels[3], labels.labels[4]);
+        assert_ne!(labels.labels[0], labels.labels[3]);
+        assert_ne!(labels.labels[3], labels.labels[5]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = two_components();
+        assert_eq!(connected_components(&g), connected_components_parallel(&g));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_path() {
+        // A long path stresses the pointer-jumping convergence.
+        let edges: Vec<_> = (0..999).map(|i| (i as NodeId, (i + 1) as NodeId, 1)).collect();
+        let g = Graph::from_edges(1000, &edges);
+        let seq = connected_components(&g);
+        let par = connected_components_parallel(&g);
+        assert_eq!(seq, par);
+        assert!(seq.is_connected());
+    }
+
+    #[test]
+    fn sizes_and_largest() {
+        let labels = connected_components(&two_components());
+        let sizes = labels.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 6);
+        let largest = labels.largest().unwrap();
+        assert_eq!(sizes[largest as usize], 3);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let (sub, mapping) = largest_component(&two_components());
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let labels = connected_components(&Graph::empty(0));
+        assert_eq!(labels.count, 0);
+        assert!(labels.largest().is_none());
+        let (sub, mapping) = largest_component(&Graph::empty(0));
+        assert!(sub.is_empty());
+        assert!(mapping.is_empty());
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let labels = connected_components(&Graph::empty(4));
+        assert_eq!(labels.count, 4);
+        assert!(!labels.is_connected());
+    }
+}

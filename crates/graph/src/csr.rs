@@ -1,0 +1,273 @@
+//! Compressed-sparse-row storage for weighted undirected graphs.
+
+use crate::weight::{Dist, NodeId, Weight};
+
+/// An immutable weighted undirected graph in compressed-sparse-row form.
+///
+/// Every undirected edge `{u, v}` is stored twice (once in the adjacency list
+/// of `u` and once in that of `v`); [`Graph::num_edges`] reports the number of
+/// undirected edges, i.e. half of the stored arcs. Self loops are never
+/// stored. Node identifiers are dense in `0..num_nodes()`.
+///
+/// Construction goes through [`crate::GraphBuilder`] (or the generator crate),
+/// which guarantees these invariants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[u]..offsets[u + 1]` indexes the arcs leaving `u`.
+    offsets: Vec<usize>,
+    /// Arc targets, grouped by source node and sorted by target within a node.
+    targets: Vec<NodeId>,
+    /// Arc weights, parallel to `targets`.
+    weights: Vec<Weight>,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent (wrong offset length, decreasing
+    /// offsets, targets out of range, zero weights, or self loops).
+    pub fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>, weights: Vec<Weight>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "last offset must equal the number of arcs"
+        );
+        assert_eq!(targets.len(), weights.len(), "targets and weights must be parallel");
+        let n = offsets.len() - 1;
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be nondecreasing");
+        for (u, window) in offsets.windows(2).enumerate() {
+            for i in window[0]..window[1] {
+                let v = targets[i];
+                assert!((v as usize) < n, "arc target {v} out of range (n = {n})");
+                assert_ne!(v as usize, u, "self loops are not allowed");
+                assert!(weights[i] > 0, "edge weights must be strictly positive");
+            }
+        }
+        Graph { offsets, targets, weights }
+    }
+
+    /// Builds a graph from an explicit undirected edge list.
+    ///
+    /// This is a convenience wrapper around [`crate::GraphBuilder`]: edges are
+    /// symmetrized, self loops dropped and parallel edges collapsed to the one
+    /// of minimum weight.
+    pub fn from_edges(num_nodes: usize, edges: &[(NodeId, NodeId, Weight)]) -> Self {
+        let mut builder = crate::GraphBuilder::with_capacity(num_nodes, edges.len());
+        for &(u, v, w) in edges {
+            builder.add_edge(u, v, w);
+        }
+        builder.build()
+    }
+
+    /// An empty graph with `n` isolated nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], targets: Vec::new(), weights: Vec::new() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Number of stored arcs (twice the number of undirected edges).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// `true` if the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes() == 0
+    }
+
+    /// Degree of node `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
+    }
+
+    /// Iterator over all node identifiers.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as NodeId).into_iter()
+    }
+
+    /// Iterator over the neighbors of `u` with the connecting edge weight.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let range = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        range.map(move |i| (self.targets[i], self.weights[i]))
+    }
+
+    /// The neighbor/weight slices of `u`, useful for tight inner loops.
+    #[inline]
+    pub fn neighbor_slices(&self, u: NodeId) -> (&[NodeId], &[Weight]) {
+        let range = self.offsets[u as usize]..self.offsets[u as usize + 1];
+        (&self.targets[range.clone()], &self.weights[range])
+    }
+
+    /// Iterator over undirected edges `(u, v, w)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+        })
+    }
+
+    /// Iterator over all arcs `(u, v, w)` (each undirected edge appears twice).
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        self.nodes().flat_map(move |u| self.neighbors(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Weight of the edge `{u, v}`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Weight> {
+        let (targets, weights) = self.neighbor_slices(u);
+        targets.binary_search(&v).ok().map(|i| weights[i])
+    }
+
+    /// `true` if the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_weight(u, v).is_some()
+    }
+
+    /// Minimum edge weight, or `None` for an edgeless graph.
+    pub fn min_weight(&self) -> Option<Weight> {
+        self.weights.iter().copied().min()
+    }
+
+    /// Maximum edge weight, or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<Weight> {
+        self.weights.iter().copied().max()
+    }
+
+    /// Average edge weight, or `None` for an edgeless graph.
+    ///
+    /// The paper's practical configuration of `CLUSTER` uses this value as the
+    /// initial guess for `Δ`.
+    pub fn avg_weight(&self) -> Option<Weight> {
+        if self.weights.is_empty() {
+            return None;
+        }
+        let total: Dist = self.weights.iter().map(|&w| Dist::from(w)).sum();
+        Some((total / self.weights.len() as Dist).max(1) as Weight)
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_weight(&self) -> Dist {
+        let total: Dist = self.weights.iter().map(|&w| Dist::from(w)).sum();
+        total / 2
+    }
+
+    /// Memory footprint of the CSR arrays, in bytes. Used by the MR model to
+    /// check the "linear total memory" accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+            + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Raw CSR offset array (`offsets[u]..offsets[u+1]` indexes the arcs of
+    /// `u`). Exposed for cost accounting and advanced consumers.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1, 10), (1, 2, 20), (0, 2, 30)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_sorted() {
+        let g = triangle();
+        let n0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 10), (2, 30)]);
+        let n2: Vec<_> = g.neighbors(2).collect();
+        assert_eq!(n2, vec![(0, 30), (1, 20)]);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = triangle();
+        assert_eq!(g.edge_weight(0, 1), Some(10));
+        assert_eq!(g.edge_weight(1, 0), Some(10));
+        assert_eq!(g.edge_weight(0, 0), None);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn weight_statistics() {
+        let g = triangle();
+        assert_eq!(g.min_weight(), Some(10));
+        assert_eq!(g.max_weight(), Some(30));
+        assert_eq!(g.avg_weight(), Some(20));
+        assert_eq!(g.total_weight(), 60);
+    }
+
+    #[test]
+    fn edges_listed_once() {
+        let g = triangle();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 10), (0, 2, 30), (1, 2, 20)]);
+        assert_eq!(g.arcs().count(), 6);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.min_weight(), None);
+        assert_eq!(g.avg_weight(), None);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self loops")]
+    fn from_csr_rejects_self_loops() {
+        Graph::from_csr(vec![0, 1], vec![0], vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn from_csr_rejects_zero_weights() {
+        Graph::from_csr(vec![0, 1, 2], vec![1, 0], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_csr_rejects_dangling_targets() {
+        Graph::from_csr(vec![0, 1, 1], vec![7], vec![1]);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let g = triangle();
+        assert!(g.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Plain-text edge-list input/output.
+//!
+//! The format is the one used by the DIMACS/SNAP benchmark collections the
+//! paper evaluates on: one edge per line, whitespace separated, with an
+//! optional integer weight (`u v [w]`). Lines starting with `#`, `%` or `c`
+//! are treated as comments. Unweighted lines get weight 1.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::weight::{NodeId, Weight};
+
+/// Errors produced while parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a valid `u v [w]` triple.
+    Parse { line_number: usize, line: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse { line_number, line } => {
+                write!(f, "cannot parse edge on line {line_number}: {line:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Parses an edge list from any buffered reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, EdgeListError> {
+    let mut builder = GraphBuilder::new(0);
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.starts_with('#')
+            || trimmed.starts_with('%')
+            || trimmed.starts_with('c')
+        {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse = |s: Option<&str>| s.and_then(|t| t.parse::<u64>().ok());
+        let u = parse(parts.next());
+        let v = parse(parts.next());
+        let w = match parts.next() {
+            None => Some(1u64),
+            Some(t) => t.parse::<u64>().ok(),
+        };
+        match (u, v, w) {
+            (Some(u), Some(v), Some(w))
+                if u <= NodeId::MAX as u64 && v <= NodeId::MAX as u64 && w <= Weight::MAX as u64 =>
+            {
+                builder.add_edge(u as NodeId, v as NodeId, w as Weight);
+            }
+            _ => {
+                return Err(EdgeListError::Parse { line_number: idx + 1, line: trimmed.to_string() })
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Parses an edge list stored in a string (convenient for tests and examples).
+pub fn parse_edge_list(text: &str) -> Result<Graph, EdgeListError> {
+    read_edge_list(io::Cursor::new(text))
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file))
+}
+
+/// Writes the graph as a weighted edge list (`u v w`, one undirected edge per
+/// line).
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# cldiam edge list: {} nodes, {} edges", graph.num_nodes(), graph.num_edges())?;
+    for (u, v, w) in graph.edges() {
+        writeln!(out, "{u} {v} {w}")?;
+    }
+    out.flush()
+}
+
+/// Writes the graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_weighted_and_unweighted_lines() {
+        let g = parse_edge_list("# comment\n0 1 5\n1 2\n% other comment\n\n2 3 7\n").unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_weight(0, 1), Some(5));
+        assert_eq!(g.edge_weight(1, 2), Some(1));
+        assert_eq!(g.edge_weight(2, 3), Some(7));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = parse_edge_list("0 1 5\nnot an edge\n").unwrap_err();
+        match err {
+            EdgeListError::Parse { line_number, .. } => assert_eq!(line_number, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = Graph::from_edges(4, &[(0, 1, 3), (1, 2, 4), (0, 3, 9)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = read_edge_list(io::Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let g = Graph::from_edges(3, &[(0, 1, 2), (1, 2, 8)]);
+        let dir = std::env::temp_dir().join("cldiam_edgelist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edge_list_file(&g, &path).unwrap();
+        let parsed = read_edge_list_file(&path).unwrap();
+        assert_eq!(parsed, g);
+    }
+}

@@ -1,0 +1,41 @@
+//! Weighted undirected graph substrate for the CL-DIAM reproduction.
+//!
+//! This crate provides the storage layer every other crate builds on:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation of a
+//!   weighted undirected graph with `u32` node identifiers and positive
+//!   integer edge weights (see [`Weight`], [`Dist`]).
+//! * [`GraphBuilder`] — an edge-list accumulator that deduplicates, removes
+//!   self loops, symmetrizes and produces a [`Graph`].
+//! * [`components`] — connected components (sequential union-find and a
+//!   parallel label-propagation variant) and largest-component extraction.
+//! * [`traversal`] — unweighted BFS utilities (hop distances, double sweep).
+//! * [`ops`] — graph transformations: cartesian product (used by the paper's
+//!   `roads(S)` family), induced subgraphs, relabelling and reweighting.
+//! * [`stats`] — degree/weight statistics used by the benchmark harness to
+//!   regenerate Table 1.
+//! * [`edgelist`] — plain-text edge list I/O.
+//! * [`properties`] — ball-growth probes related to the doubling dimension
+//!   assumption of Corollary 1.
+//!
+//! The paper assumes positive integral edge weights polynomial in `n`; graphs
+//! that are "born unweighted" get uniform random weights in `(0, 1]` which we
+//! represent in fixed point with scale [`WEIGHT_SCALE`].
+
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod edgelist;
+pub mod ops;
+pub mod properties;
+pub mod stats;
+pub mod traversal;
+pub mod weight;
+
+pub use builder::GraphBuilder;
+pub use components::{connected_components, largest_component, ComponentLabels};
+pub use csr::Graph;
+pub use stats::GraphStats;
+pub use weight::{
+    dist_to_unit, weight_from_unit, weight_to_unit, Dist, NodeId, Weight, INFINITY, WEIGHT_SCALE,
+};

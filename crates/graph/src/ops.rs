@@ -1,0 +1,183 @@
+//! Graph transformations: cartesian products, induced subgraphs, relabelling
+//! and reweighting.
+//!
+//! The paper's `roads(S)` benchmark family is "the cartesian product of a
+//! linear array of `S` nodes and unit edge weights with roads-USA"; the
+//! [`cartesian_product`] implemented here is the general graph operation used
+//! by the generator crate to build that family.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::weight::{NodeId, Weight};
+
+/// Cartesian product `G □ H`.
+///
+/// Nodes are pairs `(g, h)` encoded as `g * H.num_nodes() + h`. Two nodes are
+/// adjacent when they agree on one coordinate and the other coordinates are
+/// adjacent in the corresponding factor; the edge inherits the factor edge's
+/// weight.
+///
+/// # Panics
+///
+/// Panics if the product would exceed `u32::MAX` nodes.
+pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    let ng = g.num_nodes();
+    let nh = h.num_nodes();
+    let product = ng.checked_mul(nh).expect("product size overflow");
+    assert!(product <= NodeId::MAX as usize, "cartesian product exceeds u32 node ids");
+    let encode = |gu: NodeId, hu: NodeId| gu as u64 * nh as u64 + hu as u64;
+    let mut builder = GraphBuilder::with_capacity(product, g.num_edges() * nh + h.num_edges() * ng);
+    // Edges from G, replicated for every node of H.
+    for (gu, gv, w) in g.edges() {
+        for hu in 0..nh as NodeId {
+            builder.add_edge(encode(gu, hu) as NodeId, encode(gv, hu) as NodeId, w);
+        }
+    }
+    // Edges from H, replicated for every node of G.
+    for (hu, hv, w) in h.edges() {
+        for gu in 0..ng as NodeId {
+            builder.add_edge(encode(gu, hu) as NodeId, encode(gu, hv) as NodeId, w);
+        }
+    }
+    // `with_capacity(product, ..)` pre-sizes the node count, so isolated
+    // product nodes survive even if they have no incident edges.
+    builder.build()
+}
+
+/// Induced subgraph on `nodes` (which must not contain duplicates).
+///
+/// Node `nodes[i]` of the original graph becomes node `i` of the subgraph.
+pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> Graph {
+    let mut new_id = vec![NodeId::MAX; graph.num_nodes()];
+    for (i, &u) in nodes.iter().enumerate() {
+        assert_eq!(new_id[u as usize], NodeId::MAX, "duplicate node {u} in induced_subgraph");
+        new_id[u as usize] = i as NodeId;
+    }
+    let mut builder = GraphBuilder::new(nodes.len());
+    for &u in nodes {
+        let nu = new_id[u as usize];
+        for (v, w) in graph.neighbors(u) {
+            let nv = new_id[v as usize];
+            if nv != NodeId::MAX && nu < nv {
+                builder.add_edge(nu, nv, w);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Relabels the graph with a permutation: node `u` becomes `perm[u]`.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..num_nodes`.
+pub fn relabel(graph: &Graph, perm: &[NodeId]) -> Graph {
+    let n = graph.num_nodes();
+    assert_eq!(perm.len(), n, "permutation length mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!((p as usize) < n && !seen[p as usize], "perm is not a permutation");
+        seen[p as usize] = true;
+    }
+    let mut builder = GraphBuilder::new(n);
+    for (u, v, w) in graph.edges() {
+        builder.add_edge(perm[u as usize], perm[v as usize], w);
+    }
+    builder.build()
+}
+
+/// Applies a function to every edge weight (the result is clamped to be
+/// positive). Useful to re-draw weights on a fixed topology, as the paper does
+/// for the "born unweighted" social graphs.
+pub fn map_weights(graph: &Graph, mut f: impl FnMut(NodeId, NodeId, Weight) -> Weight) -> Graph {
+    let mut builder = GraphBuilder::new(graph.num_nodes());
+    for (u, v, w) in graph.edges() {
+        builder.add_edge(u, v, f(u, v, w).max(1));
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize, w: Weight) -> Graph {
+        let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId, w)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn product_of_paths_is_grid() {
+        let p3 = path(3, 1);
+        let p2 = path(2, 1);
+        let grid = cartesian_product(&p3, &p2);
+        assert_eq!(grid.num_nodes(), 6);
+        // Grid 3x2 has 3*1 + 2*2 = 7 edges.
+        assert_eq!(grid.num_edges(), 7);
+        // Node (g, h) = g*2 + h; (0,0)-(0,1) and (0,0)-(1,0) must exist.
+        assert!(grid.has_edge(0, 1));
+        assert!(grid.has_edge(0, 2));
+        assert!(!grid.has_edge(0, 3));
+    }
+
+    #[test]
+    fn product_preserves_factor_weights() {
+        let heavy = path(2, 9);
+        let light = path(2, 2);
+        let prod = cartesian_product(&heavy, &light);
+        // (0,0)-(1,0): heavy edge; (0,0)-(0,1): light edge.
+        assert_eq!(prod.edge_weight(0, 2), Some(9));
+        assert_eq!(prod.edge_weight(0, 1), Some(2));
+    }
+
+    #[test]
+    fn product_node_count_with_isolated_factor() {
+        let p2 = path(2, 1);
+        let isolated = Graph::empty(3);
+        let prod = cartesian_product(&p2, &isolated);
+        assert_eq!(prod.num_nodes(), 6);
+        assert_eq!(prod.num_edges(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = Graph::from_edges(5, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4)]);
+        let sub = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(sub.edge_weight(0, 1), Some(2));
+        assert_eq!(sub.edge_weight(1, 2), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn induced_subgraph_rejects_duplicates() {
+        let g = path(3, 1);
+        induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn relabel_reverses() {
+        let g = path(4, 5);
+        let relabelled = relabel(&g, &[3, 2, 1, 0]);
+        assert!(relabelled.has_edge(3, 2));
+        assert!(relabelled.has_edge(1, 0));
+        assert_eq!(relabelled.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn relabel_rejects_non_permutation() {
+        let g = path(3, 1);
+        relabel(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn map_weights_rescales() {
+        let g = path(3, 4);
+        let doubled = map_weights(&g, |_, _, w| w * 2);
+        assert_eq!(doubled.edge_weight(0, 1), Some(8));
+        let clamped = map_weights(&g, |_, _, _| 0);
+        assert_eq!(clamped.edge_weight(0, 1), Some(1));
+    }
+}

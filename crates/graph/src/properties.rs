@@ -1,0 +1,97 @@
+//! Structural probes related to the doubling-dimension assumption.
+//!
+//! Corollary 1 of the paper applies to graphs of bounded doubling dimension
+//! (Definition 2): the smallest `b` such that every ball of radius `2R` can be
+//! covered by at most `2^b` balls of radius `R`. Computing the doubling
+//! dimension exactly is intractable, so the benchmark harness uses the
+//! ball-growth probes in this module to *estimate* it on sampled nodes: for a
+//! graph of doubling dimension `b`, `|ball(v, 2R)| ≲ 2^b · |ball(v, R)|`.
+
+use crate::csr::Graph;
+use crate::traversal::{bfs_hops, UNREACHABLE};
+use crate::weight::NodeId;
+
+/// Sizes of the balls of unweighted radius `0..=max_radius` around `source`.
+///
+/// `result[r]` is the number of nodes within `r` hops of `source`.
+pub fn ball_sizes(graph: &Graph, source: NodeId, max_radius: u32) -> Vec<usize> {
+    let hops = bfs_hops(graph, source);
+    let mut counts = vec![0usize; max_radius as usize + 1];
+    for &h in &hops {
+        if h != UNREACHABLE && h <= max_radius {
+            counts[h as usize] += 1;
+        }
+    }
+    // Prefix sum: ball of radius r contains every node at hop distance <= r.
+    for r in 1..counts.len() {
+        counts[r] += counts[r - 1];
+    }
+    counts
+}
+
+/// Estimates the doubling exponent at `source`: the maximum over radii `R` of
+/// `log2(|ball(2R)| / |ball(R)|)`, which lower-bounds the doubling dimension.
+pub fn doubling_exponent_estimate(graph: &Graph, source: NodeId, max_radius: u32) -> f64 {
+    let sizes = ball_sizes(graph, source, max_radius);
+    let mut worst: f64 = 0.0;
+    let mut r = 1usize;
+    while 2 * r < sizes.len() {
+        let small = sizes[r] as f64;
+        let big = sizes[2 * r] as f64;
+        if small > 0.0 && big > small {
+            worst = worst.max((big / small).log2());
+        }
+        r += 1;
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weight::Weight;
+
+    fn grid(side: usize) -> Graph {
+        let mut edges = Vec::new();
+        let id = |r: usize, c: usize| (r * side + c) as NodeId;
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    edges.push((id(r, c), id(r, c + 1), 1 as Weight));
+                }
+                if r + 1 < side {
+                    edges.push((id(r, c), id(r + 1, c), 1 as Weight));
+                }
+            }
+        }
+        Graph::from_edges(side * side, &edges)
+    }
+
+    #[test]
+    fn ball_sizes_are_monotone_and_bounded() {
+        let g = grid(9);
+        let center = (4 * 9 + 4) as NodeId;
+        let sizes = ball_sizes(&g, center, 8);
+        assert_eq!(sizes[0], 1);
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*sizes.last().unwrap(), 81);
+    }
+
+    #[test]
+    fn grid_doubling_exponent_is_small() {
+        let g = grid(17);
+        let center = (8 * 17 + 8) as NodeId;
+        let b = doubling_exponent_estimate(&g, center, 8);
+        // A 2-dimensional mesh has doubling dimension 2; the empirical
+        // exponent should land near 2 and certainly below 3.
+        assert!(b > 1.0 && b < 3.0, "estimated exponent {b}");
+    }
+
+    #[test]
+    fn star_doubling_exponent_is_large() {
+        let edges: Vec<_> = (1..512).map(|v| (0 as NodeId, v as NodeId, 1 as Weight)).collect();
+        let star = Graph::from_edges(512, &edges);
+        let b = doubling_exponent_estimate(&star, 1, 4);
+        assert!(b > 5.0, "estimated exponent {b}");
+    }
+}

@@ -1,0 +1,118 @@
+//! Configuration of the simulated `MR(M_T, M_L)` platform.
+
+/// Parameters of the simulated MapReduce platform.
+///
+/// * `num_machines` mirrors the paper's 16-node Spark cluster and is the
+///   degree of parallelism used to execute reducers (Figure 4 varies it).
+/// * `local_memory_items` is `M_L`: the maximum number of key-value items any
+///   single reducer/machine may hold in a round. The paper requires it to be
+///   substantially sublinear in the input size.
+/// * `total_memory_items` is `M_T`: the aggregate memory, required to be
+///   linear in the input size.
+/// * `strict_primitive_rounds` — when `true`, the sorting / prefix-sum
+///   primitives charge their full `O(log_{M_L} n)` round cost (Fact 1); when
+///   `false` (the default, matching how the paper counts Spark rounds) each
+///   primitive invocation counts as a single round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MrConfig {
+    /// Number of simulated machines (parallel reducers).
+    pub num_machines: usize,
+    /// `M_L`: per-machine memory budget, in items.
+    pub local_memory_items: usize,
+    /// `M_T`: total memory budget, in items.
+    pub total_memory_items: usize,
+    /// Whether primitives charge their full theoretical round count.
+    pub strict_primitive_rounds: bool,
+}
+
+impl Default for MrConfig {
+    fn default() -> Self {
+        MrConfig {
+            num_machines: 16,
+            local_memory_items: 1 << 22,
+            total_memory_items: 1 << 32,
+            strict_primitive_rounds: false,
+        }
+    }
+}
+
+impl MrConfig {
+    /// A configuration with `num_machines` machines and default memory limits.
+    pub fn with_machines(num_machines: usize) -> Self {
+        MrConfig { num_machines: num_machines.max(1), ..Default::default() }
+    }
+
+    /// Sets the local memory budget `M_L` (in items).
+    pub fn with_local_memory(mut self, items: usize) -> Self {
+        self.local_memory_items = items.max(2);
+        self
+    }
+
+    /// Sets the total memory budget `M_T` (in items).
+    pub fn with_total_memory(mut self, items: usize) -> Self {
+        self.total_memory_items = items.max(2);
+        self
+    }
+
+    /// Enables strict `O(log_{M_L} n)` round accounting for primitives.
+    pub fn strict(mut self) -> Self {
+        self.strict_primitive_rounds = true;
+        self
+    }
+
+    /// Number of rounds charged by a sorting or prefix-sum primitive over `n`
+    /// items (Fact 1: `O(log_{M_L} n)` rounds, at least one).
+    pub fn primitive_rounds(&self, n: usize) -> u64 {
+        if !self.strict_primitive_rounds || n <= 1 {
+            return 1;
+        }
+        let ml = self.local_memory_items.max(2) as f64;
+        let rounds = (n as f64).ln() / ml.ln();
+        rounds.ceil().max(1.0) as u64
+    }
+
+    /// Checks the `M_T` constraint for an input of `n` items.
+    pub fn fits_total_memory(&self, n: usize) -> bool {
+        n <= self.total_memory_items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = MrConfig::default();
+        assert_eq!(c.num_machines, 16);
+        assert!(!c.strict_primitive_rounds);
+    }
+
+    #[test]
+    fn with_machines_clamps_to_one() {
+        assert_eq!(MrConfig::with_machines(0).num_machines, 1);
+        assert_eq!(MrConfig::with_machines(8).num_machines, 8);
+    }
+
+    #[test]
+    fn primitive_rounds_loose_mode_is_one() {
+        let c = MrConfig::default();
+        assert_eq!(c.primitive_rounds(1_000_000_000), 1);
+    }
+
+    #[test]
+    fn primitive_rounds_strict_mode_grows_logarithmically() {
+        let c = MrConfig::with_machines(4).with_local_memory(1 << 10).strict();
+        // log_{2^10}(2^30) = 3.
+        assert_eq!(c.primitive_rounds(1 << 30), 3);
+        assert_eq!(c.primitive_rounds(1), 1);
+        assert!(c.primitive_rounds(1 << 20) <= 2);
+    }
+
+    #[test]
+    fn memory_constraint_check() {
+        let c = MrConfig::with_machines(2).with_total_memory(100);
+        assert!(c.fits_total_memory(100));
+        assert!(!c.fits_total_memory(101));
+    }
+}

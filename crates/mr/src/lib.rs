@@ -1,0 +1,34 @@
+//! A MapReduce-like round engine and the paper's cost model.
+//!
+//! The paper analyses its algorithms on the `MR(M_T, M_L)` model of
+//! Pietracaprina et al.: a computation is a sequence of *rounds*; in a round a
+//! multiset of key-value pairs is transformed by applying a *reducer*
+//! independently to every group of pairs sharing a key; `M_T` bounds the total
+//! memory and `M_L` the memory local to any single reducer. The cost of an
+//! algorithm is its number of rounds, and the experimental section
+//! additionally reports *work* — the number of node updates plus messages
+//! generated.
+//!
+//! The paper's experiments run on Apache Spark over a 16-node cluster. This
+//! crate is the single-process substitute:
+//!
+//! * [`CostTracker`] / [`CostMetrics`] — thread-safe accounting of rounds,
+//!   messages, node updates and peak per-reducer memory. Both the fast
+//!   shared-memory implementations (in `cldiam-core` / `cldiam-sssp`) and the
+//!   literal engine below charge the same model, so the platform-independent
+//!   metrics of Table 2 and Figures 2–3 are reproduced exactly.
+//! * [`MrEngine`] — a literal round executor: pairs are hash-partitioned to a
+//!   configurable number of simulated machines, each machine groups its pairs
+//!   by key and applies the reducer in parallel (one rayon worker per
+//!   machine). `M_L` violations are detected and reported.
+//! * [`primitives`] — the sorting and (segmented) prefix-sum primitives of
+//!   Fact 1, with their `O(log_{M_L} n)` round accounting.
+
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod primitives;
+
+pub use config::MrConfig;
+pub use engine::{MachineLoad, MrEngine, RoundStats};
+pub use metrics::{CostMetrics, CostTracker};

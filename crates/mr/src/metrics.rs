@@ -1,0 +1,213 @@
+//! The paper's platform-independent cost model: rounds, messages, node
+//! updates, and peak per-reducer (local) memory.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Immutable snapshot of the cost counters.
+///
+/// * `rounds` — MapReduce rounds (Table 2, Figure 2).
+/// * `messages` — key-value pairs shuffled between rounds.
+/// * `node_updates` — state updates applied to graph nodes.
+/// * `peak_local_items` — largest number of items held by a single simulated
+///   machine in any round (the `M_L` column of the model).
+///
+/// The paper defines *work* as `node_updates + messages` (Table 2, Figure 3);
+/// see [`CostMetrics::work`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CostMetrics {
+    /// Number of MapReduce rounds executed.
+    pub rounds: u64,
+    /// Number of messages (key-value pairs) generated.
+    pub messages: u64,
+    /// Number of node state updates applied.
+    pub node_updates: u64,
+    /// Peak number of items resident on a single simulated machine.
+    pub peak_local_items: u64,
+}
+
+impl CostMetrics {
+    /// The paper's *work* measure: node updates plus messages generated.
+    pub fn work(&self) -> u64 {
+        self.node_updates + self.messages
+    }
+
+    /// Component-wise sum of two metric snapshots (peak is the max).
+    pub fn merged(&self, other: &CostMetrics) -> CostMetrics {
+        CostMetrics {
+            rounds: self.rounds + other.rounds,
+            messages: self.messages + other.messages,
+            node_updates: self.node_updates + other.node_updates,
+            peak_local_items: self.peak_local_items.max(other.peak_local_items),
+        }
+    }
+}
+
+impl std::fmt::Display for CostMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rounds={} messages={} updates={} work={} peak_local={}",
+            self.rounds,
+            self.messages,
+            self.node_updates,
+            self.work(),
+            self.peak_local_items
+        )
+    }
+}
+
+/// Thread-safe accumulator for [`CostMetrics`].
+///
+/// All parallel algorithm implementations in the workspace receive a
+/// `&CostTracker` and charge their rounds/messages/updates to it; the
+/// benchmark harness snapshots it after each run. Counters use relaxed
+/// atomics: they are statistics, not synchronization.
+#[derive(Debug, Default)]
+pub struct CostTracker {
+    rounds: AtomicU64,
+    messages: AtomicU64,
+    node_updates: AtomicU64,
+    peak_local_items: AtomicU64,
+}
+
+impl CostTracker {
+    /// Creates a tracker with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charges `n` additional rounds.
+    pub fn add_rounds(&self, n: u64) {
+        self.rounds.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges one additional round.
+    pub fn add_round(&self) {
+        self.add_rounds(1);
+    }
+
+    /// Charges `n` messages (key-value pairs generated / shuffled).
+    pub fn add_messages(&self, n: u64) {
+        self.messages.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Charges `n` node state updates.
+    pub fn add_node_updates(&self, n: u64) {
+        self.node_updates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records that some machine held `items` items; keeps the maximum.
+    pub fn record_local_items(&self, items: u64) {
+        self.peak_local_items.fetch_max(items, Ordering::Relaxed);
+    }
+
+    /// Current number of rounds charged.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Immutable snapshot of every counter.
+    pub fn snapshot(&self) -> CostMetrics {
+        CostMetrics {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            node_updates: self.node_updates.load(Ordering::Relaxed),
+            peak_local_items: self.peak_local_items.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.rounds.store(0, Ordering::Relaxed);
+        self.messages.store(0, Ordering::Relaxed);
+        self.node_updates.store(0, Ordering::Relaxed);
+        self.peak_local_items.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for CostTracker {
+    fn clone(&self) -> Self {
+        let snap = self.snapshot();
+        let t = CostTracker::new();
+        t.add_rounds(snap.rounds);
+        t.add_messages(snap.messages);
+        t.add_node_updates(snap.node_updates);
+        t.record_local_items(snap.peak_local_items);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_is_updates_plus_messages() {
+        let m = CostMetrics { rounds: 3, messages: 10, node_updates: 7, peak_local_items: 2 };
+        assert_eq!(m.work(), 17);
+    }
+
+    #[test]
+    fn merged_sums_and_maxes() {
+        let a = CostMetrics { rounds: 1, messages: 2, node_updates: 3, peak_local_items: 10 };
+        let b = CostMetrics { rounds: 4, messages: 5, node_updates: 6, peak_local_items: 7 };
+        let m = a.merged(&b);
+        assert_eq!(m.rounds, 5);
+        assert_eq!(m.messages, 7);
+        assert_eq!(m.node_updates, 9);
+        assert_eq!(m.peak_local_items, 10);
+    }
+
+    #[test]
+    fn tracker_accumulates_and_resets() {
+        let t = CostTracker::new();
+        t.add_round();
+        t.add_rounds(2);
+        t.add_messages(5);
+        t.add_node_updates(4);
+        t.record_local_items(100);
+        t.record_local_items(50);
+        let s = t.snapshot();
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.node_updates, 4);
+        assert_eq!(s.peak_local_items, 100);
+        t.reset();
+        assert_eq!(t.snapshot(), CostMetrics::default());
+    }
+
+    #[test]
+    fn tracker_is_safe_to_share_across_threads() {
+        let t = CostTracker::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        t.add_messages(1);
+                        t.add_node_updates(2);
+                    }
+                });
+            }
+        });
+        let s = t.snapshot();
+        assert_eq!(s.messages, 8000);
+        assert_eq!(s.node_updates, 16000);
+    }
+
+    #[test]
+    fn clone_copies_counters() {
+        let t = CostTracker::new();
+        t.add_messages(3);
+        let c = t.clone();
+        assert_eq!(c.snapshot().messages, 3);
+        c.add_messages(1);
+        assert_eq!(t.snapshot().messages, 3);
+    }
+
+    #[test]
+    fn display_contains_work() {
+        let m = CostMetrics { rounds: 1, messages: 2, node_updates: 3, peak_local_items: 4 };
+        let s = format!("{m}");
+        assert!(s.contains("work=5"));
+    }
+}

@@ -1,0 +1,266 @@
+//! Parallel Δ-stepping SSSP (Meyer & Sanders, J. Algorithms 2003) — the
+//! paper's baseline competitor.
+//!
+//! Tentative distances are kept in buckets of width `Δ`. The algorithm
+//! repeatedly takes the non-empty bucket of smallest index, relaxes *light*
+//! edges (weight ≤ Δ) of its nodes until the bucket stops changing, and then
+//! relaxes the *heavy* edges (weight > Δ) of every node settled in the bucket
+//! once. Small `Δ` approaches Dijkstra (little work, many phases); large `Δ`
+//! approaches Bellman-Ford (few phases, much work).
+//!
+//! In the MapReduce cost model adopted by the paper, each light-relaxation
+//! sub-phase and each heavy-relaxation phase is one round; the messages are
+//! the relaxation requests generated and the node updates are the tentative
+//! distance improvements applied. These are charged to an optional
+//! [`CostTracker`] and also returned in the [`DeltaSteppingOutcome`].
+
+use std::collections::BTreeMap;
+
+use cldiam_mr::CostTracker;
+use rayon::prelude::*;
+
+use cldiam_graph::{Dist, Graph, NodeId, Weight, INFINITY};
+
+/// Result of a Δ-stepping run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaSteppingOutcome {
+    /// Source node.
+    pub source: NodeId,
+    /// Bucket width used.
+    pub delta: Weight,
+    /// Shortest-path distances ([`INFINITY`] for unreachable nodes).
+    pub dist: Vec<Dist>,
+    /// Number of relaxation phases (MapReduce rounds).
+    pub phases: u64,
+    /// Number of relaxation requests generated (messages).
+    pub relaxations: u64,
+    /// Number of tentative-distance improvements applied (node updates).
+    pub updates: u64,
+}
+
+impl DeltaSteppingOutcome {
+    /// Largest finite distance — the weighted eccentricity of the source.
+    pub fn eccentricity(&self) -> Dist {
+        self.dist.iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(0)
+    }
+
+    /// The paper's *work* measure for this run.
+    pub fn work(&self) -> u64 {
+        self.relaxations + self.updates
+    }
+}
+
+/// A reasonable default bucket width: the average edge weight (clamped to at
+/// least 1). The benchmark harness additionally sweeps `Δ` over a grid and
+/// keeps the best-performing value, as the paper does.
+pub fn suggest_delta(graph: &Graph) -> Weight {
+    graph.avg_weight().unwrap_or(1).max(1)
+}
+
+/// Runs Δ-stepping from `source` with bucket width `delta`.
+///
+/// Light-edge relaxation requests are generated in parallel (rayon) and
+/// applied with a deterministic min-reduction, so the distance output is
+/// independent of the number of threads. Cost metrics are charged to
+/// `tracker` when provided.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `delta` is zero.
+pub fn delta_stepping(
+    graph: &Graph,
+    source: NodeId,
+    delta: Weight,
+    tracker: Option<&CostTracker>,
+) -> DeltaSteppingOutcome {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range (n = {n})");
+    assert!(delta >= 1, "delta must be positive");
+    let delta_dist = Dist::from(delta);
+
+    let mut dist = vec![INFINITY; n];
+    let mut buckets: BTreeMap<u64, Vec<NodeId>> = BTreeMap::new();
+    let mut phases = 0u64;
+    let mut relaxations = 0u64;
+    let mut updates = 0u64;
+
+    dist[source as usize] = 0;
+    buckets.entry(0).or_default().push(source);
+
+    // Applies a batch of relaxation requests; returns nodes whose tentative
+    // distance improved, so the caller can re-bucket them.
+    let apply = |requests: Vec<(NodeId, Dist)>,
+                     dist: &mut Vec<Dist>,
+                     buckets: &mut BTreeMap<u64, Vec<NodeId>>,
+                     relaxations: &mut u64,
+                     updates: &mut u64| {
+        *relaxations += requests.len() as u64;
+        for (v, d) in requests {
+            if d < dist[v as usize] {
+                dist[v as usize] = d;
+                *updates += 1;
+                buckets.entry(d / delta_dist).or_default().push(v);
+            }
+        }
+    };
+
+    // Marks nodes already recorded in the current bucket's settled set, so the
+    // heavy phase relaxes each of them exactly once. Flags are cleared after
+    // every bucket (touching only the settled nodes, not all of `n`).
+    let mut in_settled = vec![false; n];
+
+    while let Some((&bucket_idx, _)) = buckets.iter().next() {
+        let mut settled: Vec<NodeId> = Vec::new();
+        // Light phases: repeat until bucket `bucket_idx` stops receiving nodes.
+        // Nodes re-inserted into the same bucket by an improvement are relaxed
+        // again, exactly as in Meyer & Sanders.
+        loop {
+            let Some(current) = buckets.remove(&bucket_idx) else { break };
+            // Lazy deletion: keep only nodes whose tentative distance still
+            // falls in this bucket (stale entries are skipped).
+            let active: Vec<NodeId> = current
+                .into_iter()
+                .filter(|&v| {
+                    dist[v as usize] != INFINITY && dist[v as usize] / delta_dist == bucket_idx
+                })
+                .collect();
+            if active.is_empty() {
+                continue;
+            }
+            phases += 1;
+            let requests: Vec<(NodeId, Dist)> = active
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = dist[u as usize];
+                    graph
+                        .neighbors(u)
+                        .filter(|&(_, w)| Dist::from(w) <= delta_dist)
+                        .map(move |(v, w)| (v, du + Dist::from(w)))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for &u in &active {
+                if !in_settled[u as usize] {
+                    in_settled[u as usize] = true;
+                    settled.push(u);
+                }
+            }
+            apply(requests, &mut dist, &mut buckets, &mut relaxations, &mut updates);
+            if !buckets.contains_key(&bucket_idx) {
+                break;
+            }
+        }
+        // Heavy phase: relax heavy edges of every node settled in this bucket.
+        if !settled.is_empty() {
+            phases += 1;
+            let requests: Vec<(NodeId, Dist)> = settled
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = dist[u as usize];
+                    graph
+                        .neighbors(u)
+                        .filter(|&(_, w)| Dist::from(w) > delta_dist)
+                        .map(move |(v, w)| (v, du + Dist::from(w)))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            apply(requests, &mut dist, &mut buckets, &mut relaxations, &mut updates);
+        }
+        for u in settled {
+            in_settled[u as usize] = false;
+        }
+    }
+
+    if let Some(t) = tracker {
+        t.add_rounds(phases);
+        t.add_messages(relaxations);
+        t.add_node_updates(updates);
+    }
+
+    DeltaSteppingOutcome { source, delta, dist, phases, relaxations, updates }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use cldiam_gen::{mesh, preferential_attachment, WeightModel};
+
+    fn check_against_dijkstra(graph: &Graph, source: NodeId, delta: Weight) -> DeltaSteppingOutcome {
+        let expected = dijkstra(graph, source);
+        let outcome = delta_stepping(graph, source, delta, None);
+        assert_eq!(outcome.dist, expected.dist, "delta = {delta}");
+        outcome
+    }
+
+    #[test]
+    fn matches_dijkstra_on_weighted_mesh() {
+        let g = mesh(12, WeightModel::UniformUnit, 3);
+        for delta in [1, 1_000, 100_000, 1_000_000] {
+            check_against_dijkstra(&g, 0, delta);
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_on_social_graph() {
+        let g = preferential_attachment(500, 3, WeightModel::UniformUnit, 5);
+        for delta in [10_000, 500_000] {
+            check_against_dijkstra(&g, 42, delta);
+        }
+    }
+
+    #[test]
+    fn matches_dijkstra_with_disconnected_nodes() {
+        let g = Graph::from_edges(5, &[(0, 1, 3), (1, 2, 4)]);
+        let outcome = check_against_dijkstra(&g, 0, 2);
+        assert_eq!(outcome.dist[4], INFINITY);
+        assert_eq!(outcome.eccentricity(), 7);
+    }
+
+    #[test]
+    fn small_delta_means_more_phases_than_large_delta() {
+        let g = mesh(16, WeightModel::UniformUnit, 9);
+        let fine = delta_stepping(&g, 0, 1_000, None);
+        let coarse = delta_stepping(&g, 0, 1_000_000, None);
+        assert!(
+            fine.phases > coarse.phases,
+            "fine {} vs coarse {}",
+            fine.phases,
+            coarse.phases
+        );
+    }
+
+    #[test]
+    fn large_delta_means_at_least_as_much_work() {
+        let g = mesh(16, WeightModel::UniformUnit, 9);
+        let fine = delta_stepping(&g, 0, 10_000, None);
+        let coarse = delta_stepping(&g, 0, 1_000_000, None);
+        assert!(coarse.work() >= fine.work(), "coarse {} fine {}", coarse.work(), fine.work());
+    }
+
+    #[test]
+    fn charges_cost_tracker() {
+        let g = mesh(8, WeightModel::UniformUnit, 1);
+        let tracker = CostTracker::new();
+        let outcome = delta_stepping(&g, 0, 500_000, Some(&tracker));
+        let snap = tracker.snapshot();
+        assert_eq!(snap.rounds, outcome.phases);
+        assert_eq!(snap.messages, outcome.relaxations);
+        assert_eq!(snap.node_updates, outcome.updates);
+        assert!(snap.rounds > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_zero_delta() {
+        let g = Graph::from_edges(2, &[(0, 1, 1)]);
+        delta_stepping(&g, 0, 0, None);
+    }
+
+    #[test]
+    fn suggest_delta_is_average_weight() {
+        let g = Graph::from_edges(3, &[(0, 1, 10), (1, 2, 30)]);
+        assert_eq!(suggest_delta(&g), 20);
+        assert_eq!(suggest_delta(&Graph::empty(2)), 1);
+    }
+}

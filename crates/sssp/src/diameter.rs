@@ -1,0 +1,155 @@
+//! SSSP-based diameter bounds.
+//!
+//! * Upper bound: twice the eccentricity of any node (the paper's baseline,
+//!   computed with Δ-stepping in the experiments).
+//! * Lower bound: the largest eccentricity seen while iterating "run SSSP,
+//!   jump to the farthest node reached, repeat" — exactly the procedure the
+//!   paper uses to normalize the approximation ratios of Table 2.
+//! * Exact diameter: all-pairs Dijkstra (parallel over sources), tractable for
+//!   the small graphs used in tests and for quotient graphs.
+
+use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use rand::{Rng, SeedableRng};
+use rand_xoshiro::Xoshiro256PlusPlus;
+use rayon::prelude::*;
+
+use crate::dijkstra::dijkstra;
+
+/// Weighted eccentricity of `source`: the largest finite distance from it.
+pub fn eccentricity(graph: &Graph, source: NodeId) -> Dist {
+    dijkstra(graph, source).eccentricity()
+}
+
+/// The SSSP 2-approximation of the diameter: `2 · ecc(source)`. The true
+/// diameter lies in `[ecc(source), 2 · ecc(source)]`.
+pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
+    eccentricity(graph, source).saturating_mul(2)
+}
+
+/// Lower bound on the diameter via iterated farthest-node sweeps: starting
+/// from a random node, run Dijkstra, move to the farthest node reached and
+/// repeat for `sweeps` iterations; the largest eccentricity observed is a
+/// valid lower bound (and is usually very tight on road networks and meshes).
+pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
+    if graph.num_nodes() == 0 {
+        return 0;
+    }
+    let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
+    let mut current = rng.gen_range(0..graph.num_nodes()) as NodeId;
+    let mut best = 0;
+    for _ in 0..sweeps.max(1) {
+        let sp = dijkstra(graph, current);
+        let ecc = sp.eccentricity();
+        if ecc > best {
+            best = ecc;
+        }
+        let farthest = sp.farthest_node();
+        if farthest == current {
+            break;
+        }
+        current = farthest;
+    }
+    best
+}
+
+/// Exact weighted diameter by all-pairs Dijkstra, parallel over source nodes.
+///
+/// Defined as the paper does for possibly-disconnected graphs: the largest
+/// distance between two nodes *in the same connected component*. Intended for
+/// small graphs (tests, quotient graphs); the cost is `O(n · m log n)`.
+pub fn exact_diameter(graph: &Graph) -> Dist {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return 0;
+    }
+    (0..n as NodeId)
+        .into_par_iter()
+        .map(|u| dijkstra(graph, u).eccentricity())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Exact eccentricity of every node (parallel all-pairs Dijkstra); useful for
+/// ablations and for validating approximation ratios in tests.
+pub fn all_eccentricities(graph: &Graph) -> Vec<Dist> {
+    let n = graph.num_nodes();
+    (0..n as NodeId).into_par_iter().map(|u| dijkstra(graph, u).eccentricity()).collect()
+}
+
+/// `true` if `dist` contains a finite entry for every node — i.e. the source
+/// reaches the whole graph.
+pub fn reaches_all(dist: &[Dist]) -> bool {
+    dist.iter().all(|&d| d != INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_gen::{mesh, path, road_network, WeightModel};
+    use cldiam_graph::largest_component;
+
+    #[test]
+    fn path_diameter_is_exact() {
+        let g = path(10, 3);
+        assert_eq!(exact_diameter(&g), 27);
+        assert_eq!(eccentricity(&g, 0), 27);
+        assert_eq!(eccentricity(&g, 5), 15);
+    }
+
+    #[test]
+    fn upper_bound_is_at_least_diameter() {
+        let g = mesh(9, WeightModel::UniformUnit, 4);
+        let exact = exact_diameter(&g);
+        for source in [0, 40, 80] {
+            let ub = sssp_diameter_upper_bound(&g, source);
+            assert!(ub >= exact);
+            assert!(ub <= 2 * exact);
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_diameter_and_is_tight_on_mesh() {
+        let g = mesh(9, WeightModel::UniformUnit, 4);
+        let exact = exact_diameter(&g);
+        let lb = diameter_lower_bound(&g, 4, 7);
+        assert!(lb <= exact);
+        // Farthest-node sweeps are essentially exact on meshes.
+        assert!(lb * 10 >= exact * 9, "lb {lb} vs exact {exact}");
+    }
+
+    #[test]
+    fn lower_bound_on_road_network() {
+        let (g, _) = largest_component(&road_network(15, 15, 3));
+        let exact = exact_diameter(&g);
+        let lb = diameter_lower_bound(&g, 4, 1);
+        assert!(lb <= exact && lb > 0);
+        assert!(lb * 10 >= exact * 8, "lb {lb} vs exact {exact}");
+    }
+
+    #[test]
+    fn disconnected_graph_uses_per_component_diameter() {
+        let g = cldiam_graph::Graph::from_edges(5, &[(0, 1, 5), (2, 3, 2), (3, 4, 2)]);
+        assert_eq!(exact_diameter(&g), 5);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert_eq!(exact_diameter(&cldiam_graph::Graph::empty(0)), 0);
+        assert_eq!(exact_diameter(&cldiam_graph::Graph::empty(1)), 0);
+        assert_eq!(diameter_lower_bound(&cldiam_graph::Graph::empty(0), 3, 0), 0);
+    }
+
+    #[test]
+    fn all_eccentricities_max_is_diameter() {
+        let g = mesh(6, WeightModel::UniformUnit, 2);
+        let eccs = all_eccentricities(&g);
+        assert_eq!(eccs.iter().copied().max().unwrap(), exact_diameter(&g));
+        assert_eq!(eccs.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn reaches_all_detects_infinity() {
+        assert!(reaches_all(&[0, 1, 2]));
+        assert!(!reaches_all(&[0, INFINITY]));
+    }
+}

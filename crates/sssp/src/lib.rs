@@ -1,0 +1,40 @@
+//! Shortest-path substrate and the paper's baselines.
+//!
+//! The paper compares `CL-DIAM` against the natural SSSP-based diameter
+//! approximation: run a single-source shortest path computation from an
+//! arbitrary node and return twice the largest distance found (a
+//! 2-approximation of the diameter). The state-of-the-art practical parallel
+//! SSSP algorithm — and therefore "the only practical linear-space
+//! competitor" — is Δ-stepping (Meyer & Sanders, J. Algorithms 2003).
+//!
+//! This crate provides:
+//!
+//! * [`dijkstra`] — sequential Dijkstra returning distances, hop counts and
+//!   the shortest-path tree; the exactness oracle for every test in the
+//!   workspace and the tool used to compute the paper's diameter *lower
+//!   bounds* (iterated farthest-node sweeps).
+//! * [`bellman_ford`] — a second independent oracle used in property tests.
+//! * [`delta_stepping`] — the parallel Δ-stepping baseline, with the paper's
+//!   cost model charged to a [`cldiam_mr::CostTracker`] (one round per
+//!   light/heavy relaxation phase, messages = relaxation requests, node
+//!   updates = tentative-distance improvements).
+//! * [`diameter`] — SSSP-based upper and lower bounds for the weighted
+//!   diameter, and an exact all-pairs diameter for small graphs.
+//! * [`hops`] — estimators for `ℓ_Δ` (the maximum number of edges on
+//!   minimum-weight paths of weight at most `Δ`) and for the unweighted
+//!   diameter `Ψ(G)`, the quantities governing the paper's round-complexity
+//!   analysis.
+
+pub mod bellman_ford;
+pub mod delta_stepping;
+pub mod diameter;
+pub mod dijkstra;
+pub mod hops;
+
+pub use bellman_ford::bellman_ford;
+pub use delta_stepping::{delta_stepping, suggest_delta, DeltaSteppingOutcome};
+pub use diameter::{
+    diameter_lower_bound, eccentricity, exact_diameter, sssp_diameter_upper_bound,
+};
+pub use dijkstra::{dijkstra, ShortestPaths};
+pub use hops::{ell_delta, unweighted_diameter};

@@ -1,0 +1,74 @@
+//! Road-network workload: the paper's motivating scenario for geographic
+//! information systems.
+//!
+//! Generates a synthetic road network (the proxy for roads-USA / roads-CAL),
+//! extracts its largest connected component, and compares `CL-DIAM` against
+//! the Δ-stepping SSSP baseline on the three metrics of Table 2: diameter
+//! approximation, number of rounds, and work.
+//!
+//! Run with (optionally passing the lattice side and a seed):
+//!
+//! ```text
+//! cargo run --release --example road_network -- 60 7
+//! ```
+
+use std::time::Instant;
+
+use cldiam::gen::road_network;
+use cldiam::graph::largest_component;
+use cldiam::prelude::*;
+use cldiam::sssp::{delta_stepping, diameter_lower_bound, suggest_delta};
+use cldiam_mr::CostTracker;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(60);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let raw = road_network(side, side, seed);
+    let (graph, _) = largest_component(&raw);
+    println!(
+        "road network {side}x{side}: {} nodes, {} edges (largest component)",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Reference: lower bound by iterated farthest-node sweeps (as in Table 2).
+    let lower = diameter_lower_bound(&graph, 4, seed);
+    println!("diameter lower bound (4 sweeps): {lower}");
+
+    // CL-DIAM.
+    let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 1_000);
+    let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
+    let started = Instant::now();
+    let estimate = approximate_diameter(&graph, &config);
+    let cl_time = started.elapsed();
+    println!("\nCL-DIAM (tau = {tau})");
+    println!("  estimate   : {} (ratio {:.3})", estimate.upper_bound, estimate.ratio_against(lower));
+    println!("  clusters   : {}", estimate.num_clusters);
+    println!("  rounds     : {}", estimate.metrics.rounds);
+    println!("  work       : {}", estimate.metrics.work());
+    println!("  time       : {cl_time:?}");
+
+    // Δ-stepping baseline from a fixed source: 2 × eccentricity.
+    let delta = suggest_delta(&graph);
+    let tracker = CostTracker::new();
+    let started = Instant::now();
+    let outcome = delta_stepping(&graph, 0, delta, Some(&tracker));
+    let ds_time = started.elapsed();
+    let ds_estimate = outcome.eccentricity().saturating_mul(2);
+    println!("\nΔ-stepping baseline (Δ = {delta})");
+    println!(
+        "  estimate   : {ds_estimate} (ratio {:.3})",
+        ds_estimate as f64 / lower.max(1) as f64
+    );
+    println!("  rounds     : {}", outcome.phases);
+    println!("  work       : {}", outcome.work());
+    println!("  time       : {ds_time:?}");
+
+    println!(
+        "\nround reduction: {:.1}x, work reduction: {:.1}x",
+        outcome.phases as f64 / estimate.metrics.rounds.max(1) as f64,
+        outcome.work() as f64 / estimate.metrics.work().max(1) as f64
+    );
+}

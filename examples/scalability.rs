@@ -1,0 +1,55 @@
+//! Scalability sweep (the Figure 4 experiment): run `CL-DIAM` on the same
+//! graph while varying the number of simulated machines (rayon worker
+//! threads) and report the running time per configuration.
+//!
+//! Run with (optionally passing the R-MAT scale and the mesh side):
+//!
+//! ```text
+//! cargo run --release --example scalability -- 14 100
+//! ```
+
+use std::time::Instant;
+
+use cldiam::gen::{mesh, rmat, RmatParams, WeightModel};
+use cldiam::graph::largest_component;
+use cldiam::prelude::*;
+
+fn run_with_machines(graph: &cldiam::graph::Graph, machines: usize, seed: u64) -> std::time::Duration {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(machines)
+        .build()
+        .expect("thread pool");
+    let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 1_000);
+    let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
+    let started = Instant::now();
+    let estimate = pool.install(|| approximate_diameter(graph, &config));
+    let elapsed = started.elapsed();
+    assert!(estimate.upper_bound > 0);
+    elapsed
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
+    let mesh_side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let seed = 5;
+
+    let (social, _) = largest_component(&rmat(RmatParams::paper(scale), WeightModel::UniformUnit, seed));
+    let grid = mesh(mesh_side, WeightModel::UniformUnit, seed);
+
+    println!("{:<12} {:>16} {:>16}", "machines", format!("R-MAT({scale})"), format!("mesh({mesh_side})"));
+    let mut baseline: Option<(f64, f64)> = None;
+    for machines in [1usize, 2, 4, 8, 16] {
+        let t_social = run_with_machines(&social, machines, seed).as_secs_f64();
+        let t_mesh = run_with_machines(&grid, machines, seed).as_secs_f64();
+        let (b_social, b_mesh) = *baseline.get_or_insert((t_social, t_mesh));
+        println!(
+            "{machines:<12} {:>11.3}s x{:<4.2} {:>10.3}s x{:<4.2}",
+            t_social,
+            b_social / t_social,
+            t_mesh,
+            b_mesh / t_mesh
+        );
+    }
+    println!("\n(x factors are speedups relative to the single-machine run)");
+}

@@ -1,0 +1,62 @@
+//! Social-network workload: low-diameter power-law graphs (the livejournal /
+//! twitter proxies), born unweighted and assigned uniform `(0, 1]` weights.
+//!
+//! Run with (optionally passing the R-MAT scale and a seed):
+//!
+//! ```text
+//! cargo run --release --example social_network -- 14 3
+//! ```
+
+use std::time::Instant;
+
+use cldiam::gen::{rmat, RmatParams, WeightModel};
+use cldiam::graph::{largest_component, stats::GraphStats};
+use cldiam::prelude::*;
+use cldiam::sssp::{delta_stepping, diameter_lower_bound, suggest_delta};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(14);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(3);
+
+    let raw = rmat(RmatParams::paper(scale), WeightModel::UniformUnit, seed);
+    let (graph, _) = largest_component(&raw);
+    let stats = GraphStats::compute(&graph);
+    println!(
+        "R-MAT({scale}) largest component: {} nodes, {} edges, max degree {}",
+        stats.nodes, stats.edges, stats.max_degree
+    );
+
+    let lower = diameter_lower_bound(&graph, 4, seed);
+    println!("diameter lower bound: {:.4}", lower as f64 / f64::from(cldiam::graph::WEIGHT_SCALE));
+
+    let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 1_000);
+    let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
+    let started = Instant::now();
+    let estimate = approximate_diameter(&graph, &config);
+    let cl_time = started.elapsed();
+    println!("\nCL-DIAM (tau = {tau})");
+    println!(
+        "  estimate : {:.4} (ratio {:.3})",
+        estimate.upper_bound as f64 / f64::from(cldiam::graph::WEIGHT_SCALE),
+        estimate.ratio_against(lower)
+    );
+    println!("  clusters : {}", estimate.num_clusters);
+    println!("  rounds   : {}", estimate.metrics.rounds);
+    println!("  work     : {}", estimate.metrics.work());
+    println!("  time     : {cl_time:?}");
+
+    let delta = suggest_delta(&graph);
+    let started = Instant::now();
+    let outcome = delta_stepping(&graph, 0, delta, None);
+    let ds_time = started.elapsed();
+    println!("\nΔ-stepping baseline (Δ = {delta})");
+    println!(
+        "  estimate : {:.4} (ratio {:.3})",
+        outcome.eccentricity().saturating_mul(2) as f64 / f64::from(cldiam::graph::WEIGHT_SCALE),
+        outcome.eccentricity().saturating_mul(2) as f64 / lower.max(1) as f64
+    );
+    println!("  rounds   : {}", outcome.phases);
+    println!("  work     : {}", outcome.work());
+    println!("  time     : {ds_time:?}");
+}
