@@ -25,8 +25,7 @@ fn bench_growing(c: &mut Criterion) {
 
     for side in [32usize, 64, 96] {
         let graph = mesh(side, WeightModel::UniformUnit, 7);
-        let centers: Vec<NodeId> =
-            (0..8).map(|i| (i * graph.num_nodes() / 8) as NodeId).collect();
+        let centers: Vec<NodeId> = (0..8).map(|i| (i * graph.num_nodes() / 8) as NodeId).collect();
         let threshold = 4 * i64::from(cldiam_graph::WEIGHT_SCALE);
 
         group.bench_with_input(BenchmarkId::new("shared_memory", side), &graph, |b, g| {

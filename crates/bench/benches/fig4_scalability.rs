@@ -18,10 +18,8 @@ fn bench_scalability(c: &mut Criterion) {
         let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 500);
         let config = ClusterConfig::default().with_tau(tau).with_seed(2);
         for machines in [1usize, 2, 4, 8] {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(machines)
-                .build()
-                .expect("thread pool");
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(machines).build().expect("thread pool");
             group.bench_with_input(
                 BenchmarkId::new(workload.paper_name, machines),
                 &machines,

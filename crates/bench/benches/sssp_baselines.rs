@@ -28,11 +28,9 @@ fn bench_sssp(c: &mut Criterion) {
         });
         let base = suggest_delta(graph);
         for (label, delta) in [("delta_x1", base), ("delta_x16", base.saturating_mul(16))] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                graph,
-                |b, g| b.iter(|| delta_stepping(g, 0, delta.max(1), None)),
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), graph, |b, g| {
+                b.iter(|| delta_stepping(g, 0, delta.max(1), None))
+            });
         }
     }
     group.finish();

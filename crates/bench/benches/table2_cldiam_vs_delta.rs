@@ -19,11 +19,9 @@ fn bench_table2(c: &mut Criterion) {
     for workload in WorkloadSet::table2(0.08, 1) {
         let graph = workload.generate();
         let lower = reference_lower_bound(&graph, 1);
-        group.bench_with_input(
-            BenchmarkId::new("cl_diam", workload.paper_name),
-            &graph,
-            |b, g| b.iter(|| run_cldiam(g, lower, 500, 1)),
-        );
+        group.bench_with_input(BenchmarkId::new("cl_diam", workload.paper_name), &graph, |b, g| {
+            b.iter(|| run_cldiam(g, lower, 500, 1))
+        });
         group.bench_with_input(
             BenchmarkId::new("delta_stepping", workload.paper_name),
             &graph,

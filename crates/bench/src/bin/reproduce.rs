@@ -134,23 +134,46 @@ fn table2(options: &Options, rows: &[ResultRow]) {
 
 fn figures(rows: &[ResultRow]) {
     println!();
-    println!("{}", render_figure("Figure 1 — approximation ratio", rows, "ratio", |r| r.approximation));
-    println!("{}", render_figure("Figure 2 — rounds (paper plots log scale)", rows, "rounds", |r| r.rounds as f64));
-    println!("{}", render_figure("Figure 3 — work (paper plots log scale)", rows, "work", |r| r.work as f64));
+    println!(
+        "{}",
+        render_figure("Figure 1 — approximation ratio", rows, "ratio", |r| r.approximation)
+    );
+    println!(
+        "{}",
+        render_figure("Figure 2 — rounds (paper plots log scale)", rows, "rounds", |r| r.rounds
+            as f64)
+    );
+    println!(
+        "{}",
+        render_figure("Figure 3 — work (paper plots log scale)", rows, "work", |r| r.work as f64)
+    );
 }
 
 fn table3(options: &Options) {
     println!("\nTable 3 — big graphs (CL-DIAM only)");
-    println!("{:<14} {:<40} {:>10} {:>10} {:>10} {:>8} {:>12}", "graph", "proxy", "n", "m", "time(s)", "rounds", "work");
+    println!(
+        "{:<14} {:<40} {:>10} {:>10} {:>10} {:>8} {:>12}",
+        "graph", "proxy", "n", "m", "time(s)", "rounds", "work"
+    );
     for w in WorkloadSet::table3(options.scale, options.seed) {
         let graph = w.generate();
         let stats = GraphStats::compute(&graph);
         let lower = reference_lower_bound(&graph, options.seed);
-        let result =
-            run_cldiam(&graph, lower, quotient_target(stats.nodes, options.target_quotient), options.seed);
+        let result = run_cldiam(
+            &graph,
+            lower,
+            quotient_target(stats.nodes, options.target_quotient),
+            options.seed,
+        );
         println!(
             "{:<14} {:<40} {:>10} {:>10} {:>10.2} {:>8} {:>12.3e}",
-            w.paper_name, w.proxy, stats.nodes, stats.edges, result.time_s, result.rounds, result.work as f64
+            w.paper_name,
+            w.proxy,
+            stats.nodes,
+            stats.edges,
+            result.time_s,
+            result.rounds,
+            result.work as f64
         );
     }
 }
@@ -167,10 +190,8 @@ fn figure4(options: &Options) {
         let graph = w.generate();
         print!("{:<14} {:>10}", w.paper_name, graph.num_nodes());
         for machines in machine_counts {
-            let pool = rayon::ThreadPoolBuilder::new()
-                .num_threads(machines)
-                .build()
-                .expect("thread pool");
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(machines).build().expect("thread pool");
             let tau = ClusterConfig::tau_for_quotient_target(
                 graph.num_nodes(),
                 quotient_target(graph.num_nodes(), options.target_quotient),
@@ -183,7 +204,9 @@ fn figure4(options: &Options) {
         }
         println!();
     }
-    println!("(the paper reports near-linear speedups from 2 to 16 Spark workers)");
+    println!("(the paper reports near-linear speedups from 2 to 16 Spark workers;");
+    println!(" under the vendored sequential rayon shim the machine axis does not change");
+    println!(" wall-clock time — swap the real rayon back in to measure actual speedups)");
 }
 
 fn delta_experiment(options: &Options) {
@@ -191,7 +214,12 @@ fn delta_experiment(options: &Options) {
     let workload: Workload = WorkloadSet::delta_experiment(options.scale, options.seed);
     let graph = workload.generate();
     let lower = reference_lower_bound(&graph, options.seed);
-    println!("workload: {} — {} nodes, {} edges, diameter ≥ {lower}", workload.proxy, graph.num_nodes(), graph.num_edges());
+    println!(
+        "workload: {} — {} nodes, {} edges, diameter ≥ {lower}",
+        workload.proxy,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
     let tau = ClusterConfig::tau_for_quotient_target(
         graph.num_nodes(),
         quotient_target(graph.num_nodes(), options.target_quotient),
@@ -201,7 +229,10 @@ fn delta_experiment(options: &Options) {
         ("average edge weight", InitialDelta::AvgWeight),
         ("graph diameter", InitialDelta::Fixed(lower)),
     ];
-    println!("{:<22} {:>14} {:>10} {:>8} {:>12} {:>12}", "initial Δ", "estimate", "ratio", "rounds", "Δ_end", "time(s)");
+    println!(
+        "{:<22} {:>14} {:>10} {:>8} {:>12} {:>12}",
+        "initial Δ", "estimate", "ratio", "rounds", "Δ_end", "time(s)"
+    );
     for (name, policy) in policies {
         let config = ClusterConfig::default()
             .with_tau(tau)

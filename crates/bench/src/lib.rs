@@ -11,6 +11,7 @@
 //! Criterion benches under `benches/` provide statistically sound timings of
 //! the individual pipeline stages.
 
+pub mod json;
 pub mod report;
 pub mod runner;
 pub mod workloads;

@@ -1,12 +1,11 @@
 //! Plain-text table rendering and JSON export of experiment results.
 
-use serde::Serialize;
-
+use crate::json::{object, to_string_pretty, Value};
 use crate::runner::RunResult;
 
 /// One labelled table row: a graph plus the results of the algorithms that
 /// ran on it.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ResultRow {
     /// Graph label (the paper's name).
     pub graph: String,
@@ -29,8 +28,7 @@ pub fn render_table(title: &str, rows: &[ResultRow]) -> String {
         out.push_str("(no rows)\n");
         return out;
     }
-    let algorithms: Vec<String> =
-        rows[0].results.iter().map(|r| r.algorithm.clone()).collect();
+    let algorithms: Vec<String> = rows[0].results.iter().map(|r| r.algorithm.clone()).collect();
     out.push_str(&format!("{:<14} {:>10} {:>10}", "graph", "nodes", "edges"));
     for a in &algorithms {
         out.push_str(&format!(" | {a:^38}"));
@@ -87,7 +85,19 @@ pub fn render_figure(
 /// Serializes rows as pretty JSON (the machine-readable companion of the
 /// tables, consumed when regenerating `EXPERIMENTS.md`).
 pub fn to_json(rows: &[ResultRow]) -> String {
-    serde_json::to_string_pretty(rows).expect("result rows are serializable")
+    let rows: Vec<Value> = rows
+        .iter()
+        .map(|row| {
+            object([
+                ("graph", row.graph.as_str().into()),
+                ("proxy", row.proxy.as_str().into()),
+                ("nodes", row.nodes.into()),
+                ("edges", row.edges.into()),
+                ("results", Value::Array(row.results.iter().map(RunResult::to_value).collect())),
+            ])
+        })
+        .collect();
+    to_string_pretty(&Value::Array(rows))
 }
 
 #[cfg(test)]
@@ -152,7 +162,7 @@ mod tests {
     #[test]
     fn json_roundtrips_structure() {
         let json = to_json(&sample_rows());
-        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let value = crate::json::from_str(&json).unwrap();
         assert_eq!(value[0]["graph"], "mesh");
         assert_eq!(value[0]["results"][1]["rounds"], 900);
     }

@@ -7,11 +7,12 @@ use cldiam_core::{approximate_diameter, ClusterConfig};
 use cldiam_graph::{Dist, Graph, NodeId};
 use cldiam_mr::CostTracker;
 use cldiam_sssp::{delta_stepping, diameter_lower_bound, suggest_delta};
-use serde::Serialize;
+
+use crate::json::{object, Value};
 
 /// One measured run of either algorithm on one graph — the columns of
 /// Table 2.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct RunResult {
     /// Algorithm name (`CL-DIAM` or `Δ-stepping`).
     pub algorithm: String,
@@ -29,6 +30,22 @@ pub struct RunResult {
     pub work: u64,
     /// Extra detail (τ, Δ, cluster counts) for the JSON output.
     pub detail: String,
+}
+
+impl RunResult {
+    /// JSON representation used by [`crate::report::to_json`].
+    pub fn to_value(&self) -> Value {
+        object([
+            ("algorithm", self.algorithm.as_str().into()),
+            ("estimate", self.estimate.into()),
+            ("lower_bound", self.lower_bound.into()),
+            ("approximation", self.approximation.into()),
+            ("time_s", self.time_s.into()),
+            ("rounds", self.rounds.into()),
+            ("work", self.work.into()),
+            ("detail", self.detail.as_str().into()),
+        ])
+    }
 }
 
 /// Computes the diameter lower bound the paper uses to normalize ratios:
@@ -105,7 +122,8 @@ pub fn baseline_source(graph: &Graph, seed: u64) -> NodeId {
 pub fn run_delta_stepping_best(graph: &Graph, lower_bound: Dist, seed: u64) -> RunResult {
     let base = suggest_delta(graph);
     let source = baseline_source(graph, seed);
-    let candidates = [base, base.saturating_mul(4), base.saturating_mul(16), base.saturating_mul(64)];
+    let candidates =
+        [base, base.saturating_mul(4), base.saturating_mul(16), base.saturating_mul(64)];
     let mut best: Option<RunResult> = None;
     for &delta in &candidates {
         let result = run_delta_stepping_with(graph, source, delta.max(1), lower_bound);
@@ -144,7 +162,11 @@ mod tests {
         let result = run_delta_stepping_best(&g, lower, 3);
         assert!(result.estimate >= lower);
         assert!(result.approximation >= 1.0);
-        assert!(result.approximation <= 2.1, "2-approximation bound violated: {}", result.approximation);
+        assert!(
+            result.approximation <= 2.1,
+            "2-approximation bound violated: {}",
+            result.approximation
+        );
         assert!(result.rounds > 0);
     }
 

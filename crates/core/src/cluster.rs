@@ -21,8 +21,8 @@ use rand_xoshiro::Xoshiro256PlusPlus;
 
 use cldiam_graph::{Dist, Graph, NodeId};
 
-use crate::config::ClusterConfig;
 use crate::clustering::Clustering;
+use crate::config::ClusterConfig;
 use crate::growing::partial_growth;
 use crate::state::GrowState;
 
@@ -151,9 +151,8 @@ pub(crate) struct ClusterRun {
 /// Packages a completed grow-state into a [`Clustering`].
 pub(crate) fn finalize(graph: &Graph, run: ClusterRun, tracker: &CostTracker) -> Clustering {
     let n = graph.num_nodes();
-    let mut centers: Vec<NodeId> = (0..n as NodeId)
-        .filter(|&u| run.state.center[u as usize] == u)
-        .collect();
+    let mut centers: Vec<NodeId> =
+        (0..n as NodeId).filter(|&u| run.state.center[u as usize] == u).collect();
     centers.sort_unstable();
     let assignment = run.state.center.clone();
     let dist: Vec<Dist> =

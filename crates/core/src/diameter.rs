@@ -99,8 +99,7 @@ impl ClDiam {
     ) -> DiameterEstimate {
         let quotient = quotient_graph(graph, clustering);
         let (quotient_diameter, quotient_exact) = self.quotient_diameter(&quotient);
-        let upper_bound =
-            quotient_diameter.saturating_add(clustering.radius.saturating_mul(2));
+        let upper_bound = quotient_diameter.saturating_add(clustering.radius.saturating_mul(2));
         // The quotient construction and its diameter computation are charged
         // as one extra round each, following the paper's observation that the
         // quotient fits in a single reducer's local memory.
@@ -242,14 +241,10 @@ mod tests {
         // while starting at the minimum weight stays tight.
         let g = mesh(24, WeightModel::paper_bimodal(), 11);
         let exact = exact_diameter(&g);
-        let tight = approximate_diameter(
-            &g,
-            &config(4, 2).with_initial_delta(InitialDelta::MinWeight),
-        );
-        let loose = approximate_diameter(
-            &g,
-            &config(4, 2).with_initial_delta(InitialDelta::Fixed(exact)),
-        );
+        let tight =
+            approximate_diameter(&g, &config(4, 2).with_initial_delta(InitialDelta::MinWeight));
+        let loose =
+            approximate_diameter(&g, &config(4, 2).with_initial_delta(InitialDelta::Fixed(exact)));
         assert!(tight.upper_bound >= exact);
         assert!(loose.upper_bound >= exact);
         assert!(

@@ -130,9 +130,8 @@ pub fn partial_growth(
         .collect();
 
     // Unfrozen nodes already reached (eff ≤ threshold ⇒ reached).
-    let mut reached = (0..state.len())
-        .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
-        .count();
+    let mut reached =
+        (0..state.len()).filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER).count();
     outcome.reached_unfrozen = reached;
 
     if stop_at_reached.is_some_and(|target| reached >= target) {
@@ -169,9 +168,8 @@ pub fn partial_growth(
         }
         frontier = updated;
     }
-    outcome.reached_unfrozen = (0..state.len())
-        .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
-        .count();
+    outcome.reached_unfrozen =
+        (0..state.len()).filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER).count();
     outcome
 }
 
@@ -272,7 +270,11 @@ mod tests {
         let mut s = init_state_with_center(9, 0);
         let outcome = partial_growth(&g, 100, 100, &mut s, Some(3), None, None);
         assert!(outcome.reached_unfrozen >= 3);
-        assert!(outcome.reached_unfrozen < 9, "stopped early, reached {}", outcome.reached_unfrozen);
+        assert!(
+            outcome.reached_unfrozen < 9,
+            "stopped early, reached {}",
+            outcome.reached_unfrozen
+        );
     }
 
     #[test]

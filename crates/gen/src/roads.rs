@@ -56,16 +56,19 @@ pub fn road_network(rows: usize, cols: usize, seed: u64) -> Graph {
     let block_cols = cols.div_ceil(8).max(1);
     let terrain: Vec<f64> =
         (0..block_rows * block_cols).map(|_| 1.0 + 1.5 * rng.gen::<f64>()).collect();
-    let terrain_at = |r: usize, c: usize| terrain[(r / 8).min(block_rows - 1) * block_cols + (c / 8).min(block_cols - 1)];
-
-    let edge_weight = |ra: usize, ca: usize, rb: usize, cb: usize, rng: &mut Xoshiro256PlusPlus| -> Weight {
-        let (xa, ya) = positions[ra * cols + ca];
-        let (xb, yb) = positions[rb * cols + cb];
-        let dist = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
-        let factor = 0.5 * (terrain_at(ra, ca) + terrain_at(rb, cb));
-        let noise = 0.9 + 0.2 * rng.gen::<f64>();
-        ((dist * factor * noise * BASE_LENGTH).round() as Weight).max(1)
+    let terrain_at = |r: usize, c: usize| {
+        terrain[(r / 8).min(block_rows - 1) * block_cols + (c / 8).min(block_cols - 1)]
     };
+
+    let edge_weight =
+        |ra: usize, ca: usize, rb: usize, cb: usize, rng: &mut Xoshiro256PlusPlus| -> Weight {
+            let (xa, ya) = positions[ra * cols + ca];
+            let (xb, yb) = positions[rb * cols + cb];
+            let dist = ((xa - xb).powi(2) + (ya - yb).powi(2)).sqrt();
+            let factor = 0.5 * (terrain_at(ra, ca) + terrain_at(rb, cb));
+            let noise = 0.9 + 0.2 * rng.gen::<f64>();
+            ((dist * factor * noise * BASE_LENGTH).round() as Weight).max(1)
+        };
 
     let mut b = GraphBuilder::with_capacity(n, (2.6 * n as f64) as usize / 2);
     for r in 0..rows {
@@ -104,7 +107,11 @@ mod tests {
         let g = road_network(40, 40, 3);
         let stats = GraphStats::compute(&g);
         assert_eq!(stats.nodes, 1600);
-        assert!(stats.avg_degree > 1.8 && stats.avg_degree < 3.2, "avg degree {}", stats.avg_degree);
+        assert!(
+            stats.avg_degree > 1.8 && stats.avg_degree < 3.2,
+            "avg degree {}",
+            stats.avg_degree
+        );
         assert!(stats.max_degree <= 8);
     }
 

@@ -117,7 +117,7 @@ mod tests {
         let mut rng = any_rng();
         for _ in 0..1000 {
             let w = WeightModel::UniformUnit.sample(&mut rng, 1);
-            assert!(w >= 1 && w <= WEIGHT_SCALE);
+            assert!((1..=WEIGHT_SCALE).contains(&w));
         }
     }
 

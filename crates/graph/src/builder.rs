@@ -106,7 +106,9 @@ impl GraphBuilder {
         for u in 0..n {
             let range = offsets[u]..offsets[u + 1];
             perm.clear();
-            perm.extend(targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()));
+            perm.extend(
+                targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()),
+            );
             perm.sort_unstable_by_key(|&(t, _)| t);
             for (i, &(t, w)) in range.clone().zip(perm.iter()) {
                 targets[i] = t;

@@ -113,8 +113,7 @@ pub fn connected_components_parallel(graph: &Graph) -> ComponentLabels {
             })
             .collect();
         // Shortcut: pointer jumping to accelerate convergence.
-        let jumped: Vec<u32> =
-            (0..n).into_par_iter().map(|u| next[next[u] as usize]).collect();
+        let jumped: Vec<u32> = (0..n).into_par_iter().map(|u| next[next[u] as usize]).collect();
         let changed = jumped.par_iter().zip(labels.par_iter()).any(|(a, b)| a != b);
         labels = jumped;
         if !changed {
@@ -171,10 +170,7 @@ mod tests {
 
     fn two_components() -> Graph {
         // {0,1,2} triangle and {3,4} edge, node 5 isolated.
-        Graph::from_edges(
-            6,
-            &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 5)],
-        )
+        Graph::from_edges(6, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 5)])
     }
 
     #[test]

@@ -100,7 +100,7 @@ impl Graph {
     /// Iterator over all node identifiers.
     #[inline]
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Iterator over the neighbors of `u` with the connecting edge weight.

@@ -63,12 +63,17 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<Graph, EdgeListError> {
         };
         match (u, v, w) {
             (Some(u), Some(v), Some(w))
-                if u <= NodeId::MAX as u64 && v <= NodeId::MAX as u64 && w <= Weight::MAX as u64 =>
+                if u <= NodeId::MAX as u64
+                    && v <= NodeId::MAX as u64
+                    && w <= Weight::MAX as u64 =>
             {
                 builder.add_edge(u as NodeId, v as NodeId, w as Weight);
             }
             _ => {
-                return Err(EdgeListError::Parse { line_number: idx + 1, line: trimmed.to_string() })
+                return Err(EdgeListError::Parse {
+                    line_number: idx + 1,
+                    line: trimmed.to_string(),
+                })
             }
         }
     }

@@ -183,16 +183,11 @@ mod tests {
     #[test]
     fn word_count_round() {
         let e = engine(4);
-        let pairs: Vec<(String, u64)> = ["a", "b", "a", "c", "a", "b"]
-            .iter()
-            .map(|s| (s.to_string(), 1u64))
-            .collect();
+        let pairs: Vec<(String, u64)> =
+            ["a", "b", "a", "c", "a", "b"].iter().map(|s| (s.to_string(), 1u64)).collect();
         let mut counts = e.run_round(pairs, |k, vs| vec![(k.clone(), vs.iter().sum::<u64>())]);
         counts.sort();
-        assert_eq!(
-            counts,
-            vec![("a".to_string(), 3), ("b".to_string(), 2), ("c".to_string(), 1)]
-        );
+        assert_eq!(counts, vec![("a".to_string(), 3), ("b".to_string(), 2), ("c".to_string(), 1)]);
         let m = e.metrics();
         assert_eq!(m.rounds, 1);
         assert_eq!(m.messages, 6);

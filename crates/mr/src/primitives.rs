@@ -206,7 +206,8 @@ mod tests {
     #[test]
     fn sort_matches_std_sort() {
         let e = engine(4);
-        let items: Vec<i64> = (0..5000).map(|i| ((i * 2654435761u64) % 10_000) as i64 - 5000).collect();
+        let items: Vec<i64> =
+            (0..5000).map(|i| ((i * 2654435761u64) % 10_000) as i64 - 5000).collect();
         let mut expected = items.clone();
         expected.sort_unstable();
         assert_eq!(sort(&e, items), expected);

@@ -90,10 +90,10 @@ pub fn delta_stepping(
     // Applies a batch of relaxation requests; returns nodes whose tentative
     // distance improved, so the caller can re-bucket them.
     let apply = |requests: Vec<(NodeId, Dist)>,
-                     dist: &mut Vec<Dist>,
-                     buckets: &mut BTreeMap<u64, Vec<NodeId>>,
-                     relaxations: &mut u64,
-                     updates: &mut u64| {
+                 dist: &mut Vec<Dist>,
+                 buckets: &mut BTreeMap<u64, Vec<NodeId>>,
+                 relaxations: &mut u64,
+                 updates: &mut u64| {
         *relaxations += requests.len() as u64;
         for (v, d) in requests {
             if d < dist[v as usize] {
@@ -114,8 +114,7 @@ pub fn delta_stepping(
         // Light phases: repeat until bucket `bucket_idx` stops receiving nodes.
         // Nodes re-inserted into the same bucket by an improvement are relaxed
         // again, exactly as in Meyer & Sanders.
-        loop {
-            let Some(current) = buckets.remove(&bucket_idx) else { break };
+        while let Some(current) = buckets.remove(&bucket_idx) {
             // Lazy deletion: keep only nodes whose tentative distance still
             // falls in this bucket (stale entries are skipped).
             let active: Vec<NodeId> = current
@@ -186,7 +185,11 @@ mod tests {
     use crate::dijkstra::dijkstra;
     use cldiam_gen::{mesh, preferential_attachment, WeightModel};
 
-    fn check_against_dijkstra(graph: &Graph, source: NodeId, delta: Weight) -> DeltaSteppingOutcome {
+    fn check_against_dijkstra(
+        graph: &Graph,
+        source: NodeId,
+        delta: Weight,
+    ) -> DeltaSteppingOutcome {
         let expected = dijkstra(graph, source);
         let outcome = delta_stepping(graph, source, delta, None);
         assert_eq!(outcome.dist, expected.dist, "delta = {delta}");
@@ -222,12 +225,7 @@ mod tests {
         let g = mesh(16, WeightModel::UniformUnit, 9);
         let fine = delta_stepping(&g, 0, 1_000, None);
         let coarse = delta_stepping(&g, 0, 1_000_000, None);
-        assert!(
-            fine.phases > coarse.phases,
-            "fine {} vs coarse {}",
-            fine.phases,
-            coarse.phases
-        );
+        assert!(fine.phases > coarse.phases, "fine {} vs coarse {}", fine.phases, coarse.phases);
     }
 
     #[test]

@@ -62,11 +62,7 @@ pub fn exact_diameter(graph: &Graph) -> Dist {
     if n == 0 {
         return 0;
     }
-    (0..n as NodeId)
-        .into_par_iter()
-        .map(|u| dijkstra(graph, u).eccentricity())
-        .max()
-        .unwrap_or(0)
+    (0..n as NodeId).into_par_iter().map(|u| dijkstra(graph, u).eccentricity()).max().unwrap_or(0)
 }
 
 /// Exact eccentricity of every node (parallel all-pairs Dijkstra); useful for

@@ -26,8 +26,7 @@ pub fn ell_delta(graph: &Graph, delta: Dist, samples: usize, seed: u64) -> u32 {
         return 0;
     }
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
-    let sources: Vec<NodeId> =
-        (0..samples.max(1)).map(|_| rng.gen_range(0..n) as NodeId).collect();
+    let sources: Vec<NodeId> = (0..samples.max(1)).map(|_| rng.gen_range(0..n) as NodeId).collect();
     sources
         .par_iter()
         .map(|&s| {

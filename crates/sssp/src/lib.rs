@@ -33,8 +33,6 @@ pub mod hops;
 
 pub use bellman_ford::bellman_ford;
 pub use delta_stepping::{delta_stepping, suggest_delta, DeltaSteppingOutcome};
-pub use diameter::{
-    diameter_lower_bound, eccentricity, exact_diameter, sssp_diameter_upper_bound,
-};
+pub use diameter::{diameter_lower_bound, eccentricity, exact_diameter, sssp_diameter_upper_bound};
 pub use dijkstra::{dijkstra, ShortestPaths};
 pub use hops::{ell_delta, unweighted_diameter};

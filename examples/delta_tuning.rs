@@ -23,7 +23,11 @@ fn main() {
     let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(128);
     let seed = 11;
     let graph = mesh(side, WeightModel::paper_bimodal(), seed);
-    println!("mesh({side}) with bimodal weights: {} nodes, {} edges", graph.num_nodes(), graph.num_edges());
+    println!(
+        "mesh({side}) with bimodal weights: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     let reference = diameter_lower_bound(&graph, 6, seed);
     println!("diameter lower bound: {reference}");
@@ -35,12 +39,13 @@ fn main() {
         ("graph diameter (no self-tuning)", InitialDelta::Fixed(reference)),
     ];
 
-    println!("\n{:<42} {:>12} {:>10} {:>8} {:>10}", "initial Δ policy", "estimate", "ratio", "rounds", "Δ_end");
+    println!(
+        "\n{:<42} {:>12} {:>10} {:>8} {:>10}",
+        "initial Δ policy", "estimate", "ratio", "rounds", "Δ_end"
+    );
     for (name, policy) in policies {
-        let config = ClusterConfig::default()
-            .with_tau(tau)
-            .with_seed(seed)
-            .with_initial_delta(policy);
+        let config =
+            ClusterConfig::default().with_tau(tau).with_seed(seed).with_initial_delta(policy);
         let driver = ClDiam::new(config);
         let clustering = driver.decompose(&graph);
         let estimate = driver.estimate_from_clustering(&graph, &clustering);
@@ -53,5 +58,7 @@ fn main() {
         );
     }
     println!("\nSmaller initial Δ keeps the clusters free of heavy edges and the ratio near 1;");
-    println!("starting at the diameter merges everything across heavy edges and inflates the bound.");
+    println!(
+        "starting at the diameter merges everything across heavy edges and inflates the bound."
+    );
 }

@@ -36,7 +36,10 @@ fn main() {
     println!("aggregate cost: {}", engine.metrics());
 
     println!("\nper-round shuffle statistics (first 10 rounds):");
-    println!("{:>6} {:>12} {:>12} {:>14} {:>10}", "round", "input pairs", "output pairs", "peak machine", "ML ok?");
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>10}",
+        "round", "input pairs", "output pairs", "peak machine", "ML ok?"
+    );
     for (i, round) in engine.history().iter().enumerate().take(10) {
         let peak = round.machine_loads.iter().map(|l| l.items).max().unwrap_or(0);
         println!(

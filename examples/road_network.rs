@@ -44,7 +44,11 @@ fn main() {
     let estimate = approximate_diameter(&graph, &config);
     let cl_time = started.elapsed();
     println!("\nCL-DIAM (tau = {tau})");
-    println!("  estimate   : {} (ratio {:.3})", estimate.upper_bound, estimate.ratio_against(lower));
+    println!(
+        "  estimate   : {} (ratio {:.3})",
+        estimate.upper_bound,
+        estimate.ratio_against(lower)
+    );
     println!("  clusters   : {}", estimate.num_clusters);
     println!("  rounds     : {}", estimate.metrics.rounds);
     println!("  work       : {}", estimate.metrics.work());

@@ -14,11 +14,12 @@ use cldiam::gen::{mesh, rmat, RmatParams, WeightModel};
 use cldiam::graph::largest_component;
 use cldiam::prelude::*;
 
-fn run_with_machines(graph: &cldiam::graph::Graph, machines: usize, seed: u64) -> std::time::Duration {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(machines)
-        .build()
-        .expect("thread pool");
+fn run_with_machines(
+    graph: &cldiam::graph::Graph,
+    machines: usize,
+    seed: u64,
+) -> std::time::Duration {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(machines).build().expect("thread pool");
     let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), 1_000);
     let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
     let started = Instant::now();
@@ -34,10 +35,16 @@ fn main() {
     let mesh_side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(100);
     let seed = 5;
 
-    let (social, _) = largest_component(&rmat(RmatParams::paper(scale), WeightModel::UniformUnit, seed));
+    let (social, _) =
+        largest_component(&rmat(RmatParams::paper(scale), WeightModel::UniformUnit, seed));
     let grid = mesh(mesh_side, WeightModel::UniformUnit, seed);
 
-    println!("{:<12} {:>16} {:>16}", "machines", format!("R-MAT({scale})"), format!("mesh({mesh_side})"));
+    println!(
+        "{:<12} {:>16} {:>16}",
+        "machines",
+        format!("R-MAT({scale})"),
+        format!("mesh({mesh_side})")
+    );
     let mut baseline: Option<(f64, f64)> = None;
     for machines in [1usize, 2, 4, 8, 16] {
         let t_social = run_with_machines(&social, machines, seed).as_secs_f64();

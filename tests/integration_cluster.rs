@@ -60,12 +60,7 @@ fn quotient_graph_structure_matches_clustering() {
         let config = ClusterConfig::default().with_tau(4).with_seed(seed);
         let clustering = cluster(&graph, &config);
         let quotient = quotient_graph(&graph, &clustering);
-        assert_eq!(
-            quotient.graph.num_nodes(),
-            clustering.num_clusters(),
-            "{}",
-            spec.label()
-        );
+        assert_eq!(quotient.graph.num_nodes(), clustering.num_clusters(), "{}", spec.label());
         // Every quotient edge connects two distinct clusters and its weight is
         // at least the weight of some original boundary edge.
         let min_weight = graph.min_weight().unwrap();
@@ -98,7 +93,8 @@ fn tau_controls_cluster_count_monotonically_in_expectation() {
 fn step_cap_reduces_growing_steps() {
     let graph = GraphSpec::RoadNetwork { rows: 20, cols: 20 }.generate_connected(8);
     let unbounded = cluster(&graph, &ClusterConfig::default().with_tau(2).with_seed(8));
-    let capped = cluster(&graph, &ClusterConfig::default().with_tau(2).with_seed(8).with_step_cap(4));
+    let capped =
+        cluster(&graph, &ClusterConfig::default().with_tau(2).with_seed(8).with_step_cap(4));
     capped.validate(&graph).expect("capped clustering is valid");
     // The capped variant still terminates, covers everything, and performs
     // work of the same order (the cap bounds steps *per phase*, so the total

@@ -110,6 +110,89 @@ fn machine_count_does_not_change_results_only_load() {
 }
 
 #[test]
+fn cost_accounting_charges_rounds_and_messages_exactly() {
+    // Every run_round charges exactly one round and `input_items` messages;
+    // chaining rounds accumulates both, with no hidden charges.
+    let engine = MrEngine::new(MrConfig::with_machines(4));
+    let first: Vec<(u32, u64)> = (0..120u32).map(|i| (i % 10, 1u64)).collect();
+    let mid = engine.run_round(first, |&k, vs| vec![(k, vs.len() as u64)]);
+    let mid_len = mid.len();
+    engine.run_round(mid, |_, vs| vec![((), vs.into_iter().sum::<u64>())]);
+
+    let metrics = engine.metrics();
+    assert_eq!(metrics.rounds, 2);
+    assert_eq!(metrics.messages, 120 + mid_len as u64);
+    let history = engine.history();
+    assert_eq!(history.len(), 2);
+    assert_eq!(history[0].input_items, 120);
+    assert_eq!(history[1].input_items, mid_len);
+    // Work is messages plus node updates; run_round itself applies none.
+    assert_eq!(metrics.work(), metrics.messages);
+}
+
+#[test]
+fn tiny_local_memory_flags_every_overloaded_round() {
+    // With M_L = 8 items and all pairs hashed to one key, one machine holds
+    // the whole input: the violation must be flagged and the peak recorded.
+    let engine = MrEngine::new(MrConfig::with_machines(4).with_local_memory(8));
+    let pairs: Vec<(u8, u32)> = (0..100u32).map(|i| (1u8, i)).collect();
+    engine.run_round(pairs, |&k, vs| vec![(k, vs.len() as u32)]);
+
+    let history = engine.history();
+    assert!(history[0].local_memory_exceeded, "100 items on one machine must exceed M_L = 8");
+    assert_eq!(engine.metrics().peak_local_items, 100);
+
+    // The follow-up round (one key-count pair) fits comfortably.
+    let engine2 = MrEngine::new(MrConfig::with_machines(4).with_local_memory(8));
+    let small: Vec<(u8, u32)> = (0..5u32).map(|i| (i as u8, i)).collect();
+    engine2.run_round(small, |&k, vs| vec![(k, vs.len() as u32)]);
+    assert!(!engine2.history()[0].local_memory_exceeded);
+}
+
+#[test]
+fn round_count_is_independent_of_machine_count() {
+    // The Figure-4 invariant: varying the number of machines changes the
+    // per-machine load (and wall-clock time on a real platform) but never the
+    // round structure of the computation.
+    let graph = mesh(10, WeightModel::UniformUnit, 4);
+    let mut round_counts = Vec::new();
+    let mut message_counts = Vec::new();
+    for machines in [1usize, 2, 4, 16] {
+        let engine = MrEngine::new(MrConfig::with_machines(machines));
+        mr_bfs(&engine, &graph, 0);
+        primitives::sort(&engine, graph.edges().map(|(_, _, w)| w).collect::<Vec<_>>());
+        let metrics = engine.metrics();
+        round_counts.push(metrics.rounds);
+        message_counts.push(metrics.messages);
+    }
+    assert!(
+        round_counts.windows(2).all(|w| w[0] == w[1]),
+        "round counts varied with machine count: {round_counts:?}"
+    );
+    assert!(
+        message_counts.windows(2).all(|w| w[0] == w[1]),
+        "message counts varied with machine count: {message_counts:?}"
+    );
+}
+
+#[test]
+fn strict_fact1_rounds_are_also_machine_independent() {
+    // Fact 1 charges ⌈log_{M_L} n⌉ rounds as a function of n and M_L only;
+    // the machine count must not leak into the charge.
+    let values: Vec<u64> = (0..50_000u64).rev().collect();
+    let mut rounds = Vec::new();
+    for machines in [2usize, 8, 32] {
+        let engine =
+            MrEngine::new(MrConfig::with_machines(machines).with_local_memory(1 << 6).strict());
+        primitives::sort(&engine, values.clone());
+        rounds.push(engine.metrics().rounds);
+    }
+    assert_eq!(rounds[0], rounds[1]);
+    assert_eq!(rounds[1], rounds[2]);
+    assert!(rounds[0] >= 2, "50k items with M_L = 64 must charge multiple rounds");
+}
+
+#[test]
 fn delta_stepping_work_dominates_cldiam_work_on_mesh() {
     // Cross-substrate sanity check of the cost model feeding Figure 3: on a
     // high-diameter graph, the clustering-based estimator charges less work

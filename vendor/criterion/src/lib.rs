@@ -1,0 +1,256 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Accepts the same bench sources (`criterion_group!` / `criterion_main!`,
+//! benchmark groups, `bench_with_input`, `BenchmarkId`, `black_box`) and runs
+//! a lightweight measure loop: warm up once, then repeat each benchmark until
+//! the sample budget or the measurement time is exhausted, reporting min /
+//! mean / max per benchmark on stdout. There is no statistical analysis and
+//! no report generation, but timings are real and the binary honours
+//! `--test` (run each benchmark exactly once) so `cargo test --benches`
+//! stays fast.
+
+use std::fmt::{self, Display};
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter` (e.g. `cluster/16`).
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function, parameter: None }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{p}", self.function),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting up to the configured sample count within
+    /// the measurement budget (a single call in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let budget_start = Instant::now();
+        let samples = if self.test_mode { 1 } else { self.sample_size };
+        for _ in 0..samples {
+            let started = Instant::now();
+            black_box(routine());
+            self.samples.push(started.elapsed());
+            if !self.test_mode && budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// Settings shared by a group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark wall-clock budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no warm-up phase.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher<'_>)>(&mut self, id: String, mut f: F) {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            test_mode: self.criterion.test_mode,
+        };
+        f(&mut bencher);
+        self.criterion.report(&id, &samples);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.run(id, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; `--test` asks for a
+        // single-iteration smoke run of every benchmark.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into().to_string();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: String::new(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        };
+        group.run(id, f);
+        self
+    }
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let min = samples.iter().min().expect("non-empty samples");
+        let max = samples.iter().max().expect("non-empty samples");
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<48} [{:>12.3?} {:>12.3?} {:>12.3?}] ({} samples)",
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+    }
+}
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).measurement_time(Duration::from_millis(10));
+        let mut runs = 0;
+        group.bench_function("f", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("g2", 7), &21, |b, &x| b.iter(|| black_box(x * 2)));
+        group.finish();
+        assert_eq!(runs, 1); // test mode: exactly one iteration
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

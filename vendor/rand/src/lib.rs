@@ -1,0 +1,202 @@
+//! Offline stand-in for [rand](https://crates.io/crates/rand).
+//!
+//! Provides the trait surface the CL-DIAM workspace uses — [`RngCore`],
+//! [`Rng`] (with `gen`, `gen_range`, `gen_bool`) and [`SeedableRng`] — with
+//! the same signatures as rand 0.8, so the real crate can be swapped back in
+//! without source changes. Concrete generators live in the sibling
+//! `rand_xoshiro` shim.
+//!
+//! Integer `gen_range` uses unbiased rejection sampling (Lemire's method) and
+//! is fully deterministic given the underlying stream; it is *not* guaranteed
+//! to be bit-identical to upstream rand, which is irrelevant here because
+//! every seed-derived expectation in this workspace was produced with this
+//! implementation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random-number source: a stream of `u64`s (and the derived `u32`s).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed;
+
+    /// Builds the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64` (expanded via SplitMix64 in the
+    /// concrete implementations).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased draw from `[0, bound)` via Lemire's multiply-shift rejection.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128).wrapping_mul(bound as u128);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width u64 range: every draw is valid.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value of type `T` (see [`Standard`]).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in `range` (exclusive `a..b` or inclusive `a..=b`).
+    fn gen_range<T, RA: SampleRange<T>>(&mut self, range: RA) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder module mirroring `rand::rngs` (unused, kept for parity).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5usize..=7);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn f64_gen_is_unit_interval() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,413 @@
+//! Sequential stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access to crates.io, so the workspace
+//! vendors a minimal, API-compatible subset of rayon that executes everything
+//! on the calling thread. "Parallel" iterators are a thin [`ParIter`] wrapper
+//! around ordinary [`Iterator`]s: adapters with rayon-specific signatures
+//! (`reduce(identity, op)`, `flat_map_iter`, …) are provided as inherent
+//! methods, and everything whose signature matches std (`collect`, `sum`,
+//! `zip`, `any`, …) falls through to the [`Iterator`] implementation, with
+//! sequential semantics and deterministic ordering.
+//!
+//! Only the API surface used by the CL-DIAM crates is provided:
+//!
+//! * `prelude::*` with `par_iter` / `par_iter_mut` / `into_par_iter` /
+//!   `par_chunks` / `par_sort_unstable`;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`;
+//! * [`current_num_threads`] and [`join`].
+//!
+//! Swapping the real rayon back in is a one-line change in each crate's
+//! `Cargo.toml` (drop the `path` key); no source changes are required.
+
+use std::fmt;
+
+/// Simulated thread-count reported by [`current_num_threads`].
+///
+/// The generators use this value to decide how many deterministic chunks to
+/// split work into (each chunk derives its own RNG stream), so it must not
+/// depend on the machine the tests run on.
+pub const SIMULATED_NUM_THREADS: usize = 8;
+
+/// Number of "threads" in the (simulated) global pool.
+///
+/// Always [`SIMULATED_NUM_THREADS`], regardless of the hardware, so that
+/// chunked deterministic generation produces identical graphs everywhere.
+pub fn current_num_threads() -> usize {
+    SIMULATED_NUM_THREADS
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. Never actually produced.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error (unreachable in the sequential shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Executes `op` immediately on the calling thread.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+
+    /// The configured (simulated) thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the simulated thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the sequential shim spawns no threads,
+    /// so the name is never used.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool. Infallible in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or(SIMULATED_NUM_THREADS).max(1) })
+    }
+}
+
+/// Runs both closures (sequentially, left then right) and returns both
+/// results, mirroring `rayon::join`.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    //! Sequential equivalents of rayon's parallel iterator traits.
+
+    /// A "parallel" iterator: wraps a sequential [`Iterator`].
+    ///
+    /// Adapters whose rayon signature differs from std (`reduce`,
+    /// `flat_map_iter`, `fold_with`, …) are inherent methods so they shadow
+    /// the [`Iterator`] versions; adapters with identical signatures fall
+    /// through to the [`Iterator`] implementation but are re-wrapped here so
+    /// the chain keeps its rayon-only methods.
+    #[derive(Clone, Debug)]
+    pub struct ParIter<I>(pub(crate) I);
+
+    impl<I: Iterator> Iterator for ParIter<I> {
+        type Item = I::Item;
+
+        fn next(&mut self) -> Option<I::Item> {
+            self.0.next()
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.0.size_hint()
+        }
+    }
+
+    impl<I: Iterator> ParIter<I> {
+        /// Maps each item through `f`.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+            ParIter(self.0.map(f))
+        }
+
+        /// Keeps items matching `f`.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+            ParIter(self.0.filter(f))
+        }
+
+        /// Filter and map in one pass.
+        pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FilterMap<I, F>> {
+            ParIter(self.0.filter_map(f))
+        }
+
+        /// Maps each item to a nested collection and flattens.
+        pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// rayon's `flat_map_iter`: like [`flat_map`](Self::flat_map) but the
+        /// produced iterators are consumed sequentially (which everything in
+        /// this shim is anyway).
+        pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
+            self,
+            f: F,
+        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
+            ParIter(self.0.flat_map(f))
+        }
+
+        /// Pairs each item with its index.
+        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+            ParIter(self.0.enumerate())
+        }
+
+        /// Zips with another parallel iterator.
+        pub fn zip<Z: IntoParallelIterator>(
+            self,
+            other: Z,
+        ) -> ParIter<std::iter::Zip<I, ParIter<Z::Iter>>> {
+            ParIter(self.0.zip(other.into_par_iter()))
+        }
+
+        /// rayon's `reduce`: folds from `identity()` with `op`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+
+        /// Accepted for API compatibility; chunking hints are meaningless in
+        /// the sequential shim.
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
+        /// Copies borrowed items.
+        pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+            ParIter(self.0.copied())
+        }
+    }
+
+    impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
+        /// Clones borrowed items.
+        pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+            ParIter(self.0.cloned())
+        }
+    }
+
+    /// Consuming conversion into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Items yielded.
+        type Item;
+
+        /// Converts `self` into a parallel iterator. Sequential in the shim.
+        fn into_par_iter(self) -> ParIter<Self::Iter>;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> ParIter<I::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Borrowing conversion (`par_iter`) for collections whose references
+    /// iterate, mirroring `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Items yielded (references into `self`).
+        type Item: 'data;
+
+        /// Iterates `&self`. Sequential in the shim.
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+        <&'data I as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Mutable borrowing conversion (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// The iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Items yielded (mutable references into `self`).
+        type Item: 'data;
+
+        /// Iterates `&mut self`. Sequential in the shim.
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+        <&'data mut I as IntoIterator>::Item: 'data,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        type Item = <&'data mut I as IntoIterator>::Item;
+
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+pub mod slice {
+    //! Sequential equivalents of rayon's slice extensions.
+
+    use crate::iter::ParIter;
+
+    /// `par_chunks` and friends for shared slices.
+    pub trait ParallelSlice<T> {
+        /// Chunked iteration, mirroring `rayon::slice::ParallelSlice`.
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+            ParIter(self.chunks(chunk_size))
+        }
+    }
+
+    /// Sorting and chunked mutation for mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunked iteration.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+
+        /// Unstable sort, mirroring `par_sort_unstable`.
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord;
+
+        /// Unstable sort by key.
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+
+        /// Unstable sort with a comparator.
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+            ParIter(self.chunks_mut(chunk_size))
+        }
+
+        fn par_sort_unstable(&mut self)
+        where
+            T: Ord,
+        {
+            self.sort_unstable();
+        }
+
+        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+            self.sort_unstable_by_key(f);
+        }
+
+        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
+            self.sort_unstable_by(f);
+        }
+    }
+}
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![3u64, 1, 2];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 4]);
+        let sum: u64 = (0..10u64).into_par_iter().sum();
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn rayon_reduce_signature_works() {
+        let (lo, hi) = (0..10usize)
+            .into_par_iter()
+            .map(|x| (x, x))
+            .reduce(|| (usize::MAX, 0), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+        assert_eq!((lo, hi), (0, 9));
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v: Vec<usize> = (0..3usize).into_par_iter().flat_map_iter(|x| 0..x).collect();
+        assert_eq!(v, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn zip_pairs_two_par_iters() {
+        let a = [1, 2, 3];
+        let b = [4, 5, 6];
+        let any_diff = a.par_iter().zip(b.par_iter()).any(|(x, y)| x != y);
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v = vec![5, 1, 4, 2, 3];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn chunks_cover_slice() {
+        let v: Vec<usize> = (0..10).collect();
+        let total: usize = v.par_chunks(3).map(|c| c.len()).sum();
+        assert_eq!(total, 10);
+    }
+}
