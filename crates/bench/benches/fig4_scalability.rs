@@ -1,6 +1,10 @@
 //! Criterion companion of Figure 4: CL-DIAM wall-clock time as a function of
-//! the number of simulated machines (rayon worker threads) on the two
-//! scalability workloads.
+//! the number of machines — real worker threads since the vendored rayon
+//! became a genuine executor — on the two scalability workloads. The
+//! 1-thread row is the sequential baseline; speedups at higher counts are
+//! bounded by the physical cores of the host. `CLDIAM_THREADS` does not
+//! apply here: each row builds its own dedicated pool, which is the
+//! experiment.
 
 use std::time::Duration;
 

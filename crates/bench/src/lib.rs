@@ -14,8 +14,10 @@
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod threads;
 pub mod workloads;
 
 pub use report::{render_figure, render_table, to_json, ResultRow};
 pub use runner::{run_cldiam, run_delta_stepping_best, run_delta_stepping_with, RunResult};
+pub use threads::{configured_threads, install_with_threads};
 pub use workloads::{Workload, WorkloadSet};

@@ -61,8 +61,12 @@ pub fn delta_growing_step(
 ) -> (Vec<NodeId>, StepStats) {
     // Generate proposals in parallel. Each proposal is (target, eff, center,
     // true distance). The frontier only contains reached nodes.
+    // Small frontiers run as a single chunk (min-len hint): Δ-growing waves
+    // on sparse stages are frequent and tiny, and chunk-ordered recombination
+    // keeps the proposal list identical either way.
     let proposals: Vec<(NodeId, i64, NodeId, Dist)> = frontier
         .par_iter()
+        .with_min_len(32)
         .flat_map_iter(|&u| {
             let eff_u = state.eff[u as usize];
             let center_u = state.center[u as usize];

@@ -27,7 +27,7 @@ pub mod weights;
 pub use mesh::{mesh, torus};
 pub use path::{complete, cycle, path, star, weighted_path};
 pub use random::{gnm_random, preferential_attachment};
-pub use rmat::{rmat, RmatParams};
+pub use rmat::{rmat, RmatParams, GEN_CHUNKS};
 pub use roads::{road_network, roads_product};
 pub use spec::GraphSpec;
 pub use weights::{assign_weights, WeightModel};

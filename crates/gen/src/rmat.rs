@@ -11,6 +11,17 @@ use rayon::prelude::*;
 
 use crate::weights::WeightModel;
 
+/// Number of deterministic chunks edge generation is split into.
+///
+/// Each chunk derives its own RNG stream from `(seed, chunk index)`, so this
+/// constant is part of the generator's output format: changing it changes
+/// every generated graph. It is deliberately a generator-owned constant —
+/// **not** `rayon::current_num_threads()`, which now reports real hardware
+/// threads — so graphs are bit-identical on any machine at any thread count.
+/// (The value matches the simulated thread count of the PR-1 sequential
+/// executor, preserving all previously generated graphs.)
+pub const GEN_CHUNKS: usize = 8;
+
 /// Parameters of the R-MAT recursion.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RmatParams {
@@ -54,7 +65,7 @@ pub fn rmat(params: RmatParams, model: WeightModel, seed: u64) -> Graph {
 
     // Generate edge endpoints in parallel chunks, each with an independent
     // deterministic stream derived from (seed, chunk index).
-    let chunks = rayon::current_num_threads().max(1);
+    let chunks = GEN_CHUNKS;
     let per_chunk = target_edges.div_ceil(chunks);
     let edge_lists: Vec<Vec<(NodeId, NodeId)>> = (0..chunks)
         .into_par_iter()
@@ -131,6 +142,20 @@ mod tests {
         let p = RmatParams::paper(7);
         assert_eq!(rmat(p, WeightModel::UniformUnit, 3), rmat(p, WeightModel::UniformUnit, 3));
         assert_ne!(rmat(p, WeightModel::UniformUnit, 3), rmat(p, WeightModel::UniformUnit, 4));
+    }
+
+    #[test]
+    fn generation_is_independent_of_thread_count() {
+        // The chunk count is GEN_CHUNKS, never the pool size, so the same
+        // seed yields the same graph no matter how many workers execute it.
+        let p = RmatParams::paper(7);
+        let baseline = rmat(p, WeightModel::UniformUnit, 3);
+        for threads in [1usize, 3, 8] {
+            let pool =
+                rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
+            let graph = pool.install(|| rmat(p, WeightModel::UniformUnit, 3));
+            assert_eq!(graph, baseline, "{threads} threads");
+        }
     }
 
     #[test]

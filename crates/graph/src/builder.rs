@@ -69,6 +69,11 @@ impl GraphBuilder {
     }
 
     /// Consumes the builder and produces the canonical CSR graph.
+    ///
+    /// The two super-linear stages — canonicalizing the undirected edge set
+    /// and ordering every adjacency list — are both expressed as parallel
+    /// sorts, so CSR construction scales with the thread pool instead of
+    /// bottlenecking on a per-node sorting loop.
     pub fn build(mut self) -> Graph {
         let n = self.num_nodes;
         // Canonical order: by (u, v, w); keeping the first of each (u, v) run
@@ -76,10 +81,20 @@ impl GraphBuilder {
         self.edges.par_sort_unstable();
         self.edges.dedup_by_key(|e| (e.0, e.1));
 
+        // Symmetrize into a directed half-edge array and sort it by
+        // (source, target): one parallel sort yields every adjacency list
+        // already in target order, replacing the sequential per-node sorts.
+        let mut directed: Vec<(NodeId, NodeId, Weight)> = Vec::with_capacity(self.edges.len() * 2);
+        for &(u, v, w) in &self.edges {
+            directed.push((u, v, w));
+            directed.push((v, u, w));
+        }
+        drop(self.edges);
+        directed.par_sort_unstable();
+
         let mut degrees = vec![0usize; n];
-        for &(u, v, _) in &self.edges {
+        for &(u, _, _) in &directed {
             degrees[u as usize] += 1;
-            degrees[v as usize] += 1;
         }
         let mut offsets = Vec::with_capacity(n + 1);
         let mut acc = 0usize;
@@ -88,32 +103,11 @@ impl GraphBuilder {
             acc += d;
             offsets.push(acc);
         }
-        let mut cursor = offsets.clone();
-        let mut targets = vec![0 as NodeId; acc];
-        let mut weights = vec![0 as Weight; acc];
-        for &(u, v, w) in &self.edges {
-            let iu = cursor[u as usize];
-            targets[iu] = v;
-            weights[iu] = w;
-            cursor[u as usize] += 1;
-            let iv = cursor[v as usize];
-            targets[iv] = u;
-            weights[iv] = w;
-            cursor[v as usize] += 1;
-        }
-        // Sort each adjacency list by target (weights follow).
-        let mut perm: Vec<(NodeId, Weight)> = Vec::new();
-        for u in 0..n {
-            let range = offsets[u]..offsets[u + 1];
-            perm.clear();
-            perm.extend(
-                targets[range.clone()].iter().copied().zip(weights[range.clone()].iter().copied()),
-            );
-            perm.sort_unstable_by_key(|&(t, _)| t);
-            for (i, &(t, w)) in range.clone().zip(perm.iter()) {
-                targets[i] = t;
-                weights[i] = w;
-            }
+        let mut targets = Vec::with_capacity(directed.len());
+        let mut weights = Vec::with_capacity(directed.len());
+        for &(_, v, w) in &directed {
+            targets.push(v);
+            weights.push(w);
         }
         Graph::from_csr(offsets, targets, weights)
     }

@@ -102,8 +102,10 @@ pub fn connected_components_parallel(graph: &Graph) -> ComponentLabels {
     let mut labels: Vec<u32> = (0..n as u32).collect();
     loop {
         // Hook: every node adopts the minimum label in its closed neighborhood.
+        // Per-node work is trivial, so chunks stay large (min-len hint).
         let next: Vec<u32> = (0..n)
             .into_par_iter()
+            .with_min_len(256)
             .map(|u| {
                 let mut best = labels[u];
                 for (v, _) in graph.neighbors(u as NodeId) {
@@ -113,8 +115,10 @@ pub fn connected_components_parallel(graph: &Graph) -> ComponentLabels {
             })
             .collect();
         // Shortcut: pointer jumping to accelerate convergence.
-        let jumped: Vec<u32> = (0..n).into_par_iter().map(|u| next[next[u] as usize]).collect();
-        let changed = jumped.par_iter().zip(labels.par_iter()).any(|(a, b)| a != b);
+        let jumped: Vec<u32> =
+            (0..n).into_par_iter().with_min_len(256).map(|u| next[next[u] as usize]).collect();
+        let changed =
+            jumped.par_iter().with_min_len(256).zip(labels.par_iter()).any(|(a, b)| a != b);
         labels = jumped;
         if !changed {
             break;

@@ -59,6 +59,7 @@ pub fn parallel_bfs_hops(graph: &Graph, source: NodeId) -> (Vec<u32>, usize) {
         rounds += 1;
         let next: Vec<NodeId> = frontier
             .par_iter()
+            .with_min_len(64)
             .flat_map_iter(|&u| {
                 graph
                     .neighbors(u)

@@ -1,7 +1,7 @@
 //! A literal executor for MapReduce rounds on simulated machines.
 
 use std::collections::HashMap;
-use std::hash::{DefaultHasher, Hash, Hasher};
+use std::hash::{BuildHasherDefault, DefaultHasher, Hash, Hasher};
 
 use parking_lot::Mutex;
 use rayon::prelude::*;
@@ -37,9 +37,13 @@ pub struct RoundStats {
 ///
 /// Key-value pairs are hash-partitioned over [`MrConfig::num_machines`]
 /// simulated machines; each machine groups its pairs by key and applies the
-/// reducer to every group. Machines execute concurrently on a dedicated rayon
-/// thread pool sized to the machine count, which is how the scalability
-/// experiment (Figure 4) varies the degree of parallelism.
+/// reducer to every group. Machines execute concurrently on a dedicated
+/// thread pool sized to the machine count (real OS threads since the PR that
+/// made the vendored rayon a genuine executor), which is how the scalability
+/// experiment (Figure 4) varies the degree of parallelism. Per-machine
+/// outputs and [`MachineLoad`] accumulators are collected in machine order —
+/// never in completion order — so round results and metrics are identical at
+/// any thread count.
 ///
 /// Cost accounting per round: one round, `input_items` messages (the pairs
 /// shuffled into the round), and the largest per-machine item count as peak
@@ -132,7 +136,12 @@ impl MrEngine {
                 .enumerate()
                 .map(|(machine, bucket)| {
                     let items = bucket.len();
-                    let mut groups: HashMap<K, Vec<V>> = HashMap::new();
+                    // Fixed-seed hasher: group iteration order (and therefore
+                    // the order of the round's output pairs) is a pure
+                    // function of the input, not of a per-process random
+                    // state.
+                    let mut groups: HashMap<K, Vec<V>, BuildHasherDefault<DefaultHasher>> =
+                        HashMap::default();
                     for (k, v) in bucket {
                         groups.entry(k).or_default().push(v);
                     }
@@ -154,7 +163,9 @@ impl MrEngine {
             machine_loads.push(load);
             output.extend(out);
         }
-        machine_loads.sort_unstable_by_key(|l| l.machine);
+        // Chunk-ordered recombination delivers the loads already in machine
+        // order; the determinism tests rely on this invariant.
+        debug_assert!(machine_loads.windows(2).all(|pair| pair[0].machine < pair[1].machine));
 
         let stats = RoundStats {
             input_items,

@@ -18,9 +18,11 @@
 //!   literal engine below charge the same model, so the platform-independent
 //!   metrics of Table 2 and Figures 2–3 are reproduced exactly.
 //! * [`MrEngine`] — a literal round executor: pairs are hash-partitioned to a
-//!   configurable number of simulated machines, each machine groups its pairs
-//!   by key and applies the reducer in parallel (one rayon worker per
-//!   machine). `M_L` violations are detected and reported.
+//!   configurable number of simulated machines, and the machines execute
+//!   concurrently on a dedicated thread pool sized to the machine count, with
+//!   per-machine results and load statistics merged back in machine order so
+//!   every round is deterministic. `M_L` violations are detected and
+//!   reported.
 //! * [`primitives`] — the sorting and (segmented) prefix-sum primitives of
 //!   Fact 1, with their `O(log_{M_L} n)` round accounting.
 

@@ -1,6 +1,8 @@
 //! Scalability sweep (the Figure 4 experiment): run `CL-DIAM` on the same
-//! graph while varying the number of simulated machines (rayon worker
-//! threads) and report the running time per configuration.
+//! graph while varying the number of machines — real worker threads, one
+//! dedicated pool per configuration — and report the running time and the
+//! speedup over the single-threaded run. Speedups saturate at the physical
+//! core count of the host.
 //!
 //! Run with (optionally passing the R-MAT scale and the mesh side):
 //!

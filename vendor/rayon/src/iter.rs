@@ -1,0 +1,1019 @@
+//! Parallel iterators over splittable sources.
+//!
+//! A [`ParIter`] wraps a [`Source`]: a splittable description of the input
+//! (an index range, a slice, an owned vector, …) plus a stack of element-wise
+//! adapters (`map`, `filter`, `flat_map_iter`, …) whose closures are shared
+//! across threads behind `Arc`s. Terminal operations split the source into
+//! contiguous index chunks, execute each chunk's sequential pipeline on the
+//! current thread pool, and recombine the per-chunk results **in chunk
+//! order**.
+//!
+//! # Determinism contract
+//!
+//! Chunk boundaries depend on the pool size, so the guarantee every consumer
+//! in this workspace relies on is *chunk-order recombination*:
+//!
+//! * order-preserving terminals (`collect`, and any adapter stack above them)
+//!   concatenate chunk outputs in input order, which is invariant under the
+//!   chunking — the result is byte-identical to a sequential run at **any**
+//!   thread count;
+//! * reducing terminals (`reduce`, `sum`, `max`, `min`, `any`, `count`) fold
+//!   chunk results left-to-right. They produce thread-count-independent
+//!   results whenever the combining operation is associative with the given
+//!   identity — true for all integer sums, min/max, and boolean folds used in
+//!   this workspace. (Floating-point sums would *not* qualify; none occur.)
+
+use std::sync::{Arc, Mutex};
+
+use crate::pool::{current_pool, CHUNKS_PER_THREAD};
+
+/// A splittable, sendable description of a sequence.
+///
+/// `len` counts *input* positions (adapters like `filter` keep the input
+/// length; their chunk outputs simply shrink), `split_at` cuts the sequence at
+/// an input position, and `into_seq` yields the items of one chunk
+/// sequentially.
+#[allow(clippy::len_without_is_empty)]
+pub trait Source: Sized + Send {
+    /// Items produced by this source.
+    type Item: Send;
+    /// Sequential iterator over one chunk.
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    /// Number of input positions left.
+    fn len(&self) -> usize;
+    /// Splits into the first `mid` input positions and the rest.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Consumes this chunk into a sequential iterator.
+    fn into_seq(self) -> Self::SeqIter;
+}
+
+/// Splits `source` into `chunks` contiguous pieces of near-equal length.
+///
+/// Splitting recurses by halving rather than slicing pieces off the front:
+/// for sources whose `split_at` moves data (an owned `Vec` pays `split_off`),
+/// this costs `O(n log chunks)` moves instead of `O(n · chunks)`.
+fn split_even<S: Source>(source: S, chunks: usize) -> Vec<S> {
+    fn split_rec<S: Source>(source: S, chunks: usize, out: &mut Vec<S>) {
+        if chunks <= 1 {
+            out.push(source);
+            return;
+        }
+        let left_chunks = chunks / 2;
+        let right_chunks = chunks - left_chunks;
+        // Proportional cut keeps the final piece lengths within one of each
+        // other, matching the fully sequential splitting this replaces.
+        let take = source.len() * left_chunks / chunks;
+        let (head, tail) = source.split_at(take);
+        split_rec(head, left_chunks, out);
+        split_rec(tail, right_chunks, out);
+    }
+    let mut pieces = Vec::with_capacity(chunks);
+    split_rec(source, chunks, &mut pieces);
+    pieces
+}
+
+/// Executes `run` over the chunks of `source` on the current pool and returns
+/// the per-chunk results in chunk order.
+pub(crate) fn drive<S, R>(source: S, min_len: usize, run: impl Fn(S::SeqIter) -> R + Sync) -> Vec<R>
+where
+    S: Source,
+    R: Send,
+{
+    let len = source.len();
+    let pool = current_pool();
+    let threads = pool.threads().max(1);
+    let chunks = if threads == 1 {
+        1
+    } else {
+        (threads * CHUNKS_PER_THREAD).min(len / min_len.max(1)).max(1)
+    };
+    if chunks <= 1 {
+        return vec![run(source.into_seq())];
+    }
+    let pieces: Vec<Mutex<Option<S>>> =
+        split_even(source, chunks).into_iter().map(|piece| Mutex::new(Some(piece))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..pieces.len()).map(|_| Mutex::new(None)).collect();
+    let task = |index: usize| {
+        let piece = pieces[index]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("chunk claimed twice");
+        let out = run(piece.into_seq());
+        *results[index].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+    };
+    pool.run_batch(pieces.len(), &task);
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .expect("chunk produced no result")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a splittable [`Source`] plus a minimum chunk length
+/// hint (see [`ParIter::with_min_len`]).
+pub struct ParIter<S: Source> {
+    source: S,
+    min_len: usize,
+}
+
+impl<S: Source> ParIter<S> {
+    pub(crate) fn new(source: S) -> Self {
+        ParIter { source, min_len: 1 }
+    }
+
+    /// Maps each item through `f`.
+    pub fn map<O, F>(self, f: F) -> ParIter<MapSource<S, F>>
+    where
+        O: Send,
+        F: Fn(S::Item) -> O + Send + Sync,
+    {
+        let source = MapSource { base: self.source, f: Arc::new(f) };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// Keeps items matching `f`.
+    pub fn filter<F>(self, f: F) -> ParIter<FilterSource<S, F>>
+    where
+        F: Fn(&S::Item) -> bool + Send + Sync,
+    {
+        let source = FilterSource { base: self.source, f: Arc::new(f) };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// Filter and map in one pass.
+    pub fn filter_map<O, F>(self, f: F) -> ParIter<FilterMapSource<S, F>>
+    where
+        O: Send,
+        F: Fn(S::Item) -> Option<O> + Send + Sync,
+    {
+        let source = FilterMapSource { base: self.source, f: Arc::new(f) };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// Maps each item to a collection and flattens, preserving input order.
+    pub fn flat_map<O, F>(self, f: F) -> ParIter<FlatMapSource<S, O, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(S::Item) -> O + Send + Sync,
+    {
+        let source = FlatMapSource {
+            base: self.source,
+            f: Arc::new(f),
+            _produces: std::marker::PhantomData,
+        };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// rayon's `flat_map_iter`: like [`flat_map`](Self::flat_map), with the
+    /// produced iterators consumed sequentially inside each chunk.
+    pub fn flat_map_iter<O, F>(self, f: F) -> ParIter<FlatMapSource<S, O, F>>
+    where
+        O: IntoIterator,
+        O::Item: Send,
+        F: Fn(S::Item) -> O + Send + Sync,
+    {
+        self.flat_map(f)
+    }
+
+    /// Pairs each item with its global input index.
+    pub fn enumerate(self) -> ParIter<EnumerateSource<S>> {
+        let source = EnumerateSource { base: self.source, offset: 0 };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// Zips with another parallel iterator, truncating to the shorter side.
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<ZipSource<S, Z::Src>> {
+        let source = ZipSource { a: self.source, b: other.into_par_iter().source };
+        ParIter { source, min_len: self.min_len }
+    }
+
+    /// Sets the minimum number of input positions per chunk. Larger values
+    /// reduce scheduling overhead for cheap per-item work.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min);
+        self
+    }
+
+    /// rayon's `reduce`: folds every chunk from `identity()` with `op`, then
+    /// folds the chunk results in chunk order. Thread-count-independent when
+    /// `op` is associative and `identity()` is its identity.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> S::Item
+    where
+        ID: Fn() -> S::Item + Send + Sync,
+        OP: Fn(S::Item, S::Item) -> S::Item + Send + Sync,
+    {
+        drive(self.source, self.min_len, |iter| iter.fold(identity(), &op))
+            .into_iter()
+            .fold(identity(), &op)
+    }
+
+    /// Sums all items.
+    pub fn sum<Out>(self) -> Out
+    where
+        Out: std::iter::Sum<S::Item> + std::iter::Sum<Out> + Send,
+    {
+        drive(self.source, self.min_len, |iter| iter.sum::<Out>()).into_iter().sum()
+    }
+
+    /// Largest item (ties resolved towards the latest, matching
+    /// `Iterator::max`).
+    pub fn max(self) -> Option<S::Item>
+    where
+        S::Item: Ord,
+    {
+        drive(self.source, self.min_len, |iter| iter.max()).into_iter().flatten().reduce(|a, b| {
+            if b >= a {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// Smallest item (ties resolved towards the earliest, matching
+    /// `Iterator::min`).
+    pub fn min(self) -> Option<S::Item>
+    where
+        S::Item: Ord,
+    {
+        drive(self.source, self.min_len, |iter| iter.min()).into_iter().flatten().reduce(|a, b| {
+            if b < a {
+                b
+            } else {
+                a
+            }
+        })
+    }
+
+    /// `true` if any item satisfies `pred` (all chunks are evaluated; no
+    /// cross-chunk short-circuiting).
+    pub fn any<P>(self, pred: P) -> bool
+    where
+        P: Fn(S::Item) -> bool + Send + Sync,
+    {
+        drive(self.source, self.min_len, |mut iter| iter.any(&pred)).into_iter().any(|found| found)
+    }
+
+    /// `true` if every item satisfies `pred`.
+    pub fn all<P>(self, pred: P) -> bool
+    where
+        P: Fn(S::Item) -> bool + Send + Sync,
+    {
+        drive(self.source, self.min_len, |mut iter| iter.all(&pred)).into_iter().all(|ok| ok)
+    }
+
+    /// Number of items produced.
+    pub fn count(self) -> usize {
+        drive(self.source, self.min_len, |iter| iter.count()).into_iter().sum()
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Send + Sync,
+    {
+        drive(self.source, self.min_len, |iter| iter.for_each(&f));
+    }
+
+    /// Collects into `C`, preserving input order exactly.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<S::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+impl<'a, T, S> ParIter<S>
+where
+    T: 'a + Copy + Send + Sync,
+    S: Source<Item = &'a T>,
+{
+    /// Copies borrowed items.
+    pub fn copied(self) -> ParIter<CopiedSource<S>> {
+        let source = CopiedSource { base: self.source };
+        ParIter { source, min_len: self.min_len }
+    }
+}
+
+impl<'a, T, S> ParIter<S>
+where
+    T: 'a + Clone + Send + Sync,
+    S: Source<Item = &'a T>,
+{
+    /// Clones borrowed items.
+    pub fn cloned(self) -> ParIter<ClonedSource<S>> {
+        let source = ClonedSource { base: self.source };
+        ParIter { source, min_len: self.min_len }
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving the iterator's input order.
+    fn from_par_iter<S: Source<Item = T>>(iter: ParIter<S>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<S: Source<Item = T>>(iter: ParIter<S>) -> Vec<T> {
+        let mut parts = drive(iter.source, iter.min_len, |chunk| chunk.collect::<Vec<T>>());
+        if parts.len() == 1 {
+            return parts.pop().expect("one chunk present");
+        }
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+/// Consuming conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The underlying splittable source.
+    type Src: Source<Item = Self::Item>;
+    /// Items yielded.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Src>;
+}
+
+impl<S: Source> IntoParallelIterator for ParIter<S> {
+    type Src = S;
+    type Item = S::Item;
+
+    fn into_par_iter(self) -> ParIter<S> {
+        self
+    }
+}
+
+/// Borrowing conversion (`par_iter`), mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The underlying splittable source.
+    type Src: Source<Item = Self::Item>;
+    /// Items yielded (references into `self`).
+    type Item: Send + 'data;
+
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'data self) -> ParIter<Self::Src>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefIterator<'data> for C
+where
+    C: 'data,
+    &'data C: IntoParallelIterator,
+    <&'data C as IntoParallelIterator>::Item: 'data,
+{
+    type Src = <&'data C as IntoParallelIterator>::Src;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> ParIter<Self::Src> {
+        self.into_par_iter()
+    }
+}
+
+/// Mutable borrowing conversion (`par_iter_mut`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The underlying splittable source.
+    type Src: Source<Item = Self::Item>;
+    /// Items yielded (mutable references into `self`).
+    type Item: Send + 'data;
+
+    /// Iterates `&mut self` in parallel.
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Src>;
+}
+
+impl<'data, C: ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    C: 'data,
+    &'data mut C: IntoParallelIterator,
+    <&'data mut C as IntoParallelIterator>::Item: 'data,
+{
+    type Src = <&'data mut C as IntoParallelIterator>::Src;
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> ParIter<Self::Src> {
+        self.into_par_iter()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base sources
+// ---------------------------------------------------------------------------
+
+/// Integer range endpoints usable as parallel sources.
+pub trait RangeIndex: Copy + Send {
+    /// `self + offset`, without overflow in valid splits.
+    fn offset(self, offset: usize) -> Self;
+    /// `other - self` as a usize length.
+    fn distance(self, other: Self) -> usize;
+}
+
+macro_rules! range_index {
+    ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            fn offset(self, offset: usize) -> Self {
+                self + offset as $t
+            }
+            fn distance(self, other: Self) -> usize {
+                other.saturating_sub(self) as usize
+            }
+        }
+    )*};
+}
+range_index!(u32, u64, usize);
+
+/// Source over an integer range.
+pub struct RangeSource<T> {
+    start: T,
+    end: T,
+}
+
+impl<T> Source for RangeSource<T>
+where
+    T: RangeIndex,
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type SeqIter = std::ops::Range<T>;
+
+    fn len(&self) -> usize {
+        self.start.distance(self.end)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = self.start.offset(mid);
+        (RangeSource { start: self.start, end: cut }, RangeSource { start: cut, end: self.end })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.start..self.end
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Src = RangeSource<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParIter<RangeSource<$t>> {
+                ParIter::new(RangeSource { start: self.start, end: self.end })
+            }
+        }
+    )*};
+}
+range_into_par!(u32, u64, usize);
+
+/// Source over a shared slice.
+pub struct SliceSource<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at(mid);
+        (SliceSource { slice: head }, SliceSource { slice: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Src = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        ParIter::new(SliceSource { slice: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Src = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<'a, T: Sync, const N: usize> IntoParallelIterator for &'a [T; N] {
+    type Src = SliceSource<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParIter<SliceSource<'a, T>> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Source over a mutable slice.
+pub struct SliceMutSource<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Source for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.slice.split_at_mut(mid);
+        (SliceMutSource { slice: head }, SliceMutSource { slice: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Src = SliceMutSource<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<SliceMutSource<'a, T>> {
+        ParIter::new(SliceMutSource { slice: self })
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Src = SliceMutSource<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParIter<SliceMutSource<'a, T>> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+/// Source over an owned vector.
+pub struct VecSource<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let tail = self.items.split_off(mid);
+        (self, VecSource { items: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.items.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Src = VecSource<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<VecSource<T>> {
+        ParIter::new(VecSource { items: self })
+    }
+}
+
+/// Source over fixed-size sub-slices of a shared slice (see `par_chunks`).
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T> ChunksSource<'a, T> {
+    pub(crate) fn new(slice: &'a [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksSource { slice, size }
+    }
+}
+
+impl<'a, T: Sync> Source for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    type SeqIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (head, tail) = self.slice.split_at(cut);
+        (
+            ChunksSource { slice: head, size: self.size },
+            ChunksSource { slice: tail, size: self.size },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Source over fixed-size sub-slices of a mutable slice (`par_chunks_mut`).
+pub struct ChunksMutSource<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T> ChunksMutSource<'a, T> {
+    pub(crate) fn new(slice: &'a mut [T], size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        ChunksMutSource { slice, size }
+    }
+}
+
+impl<'a, T: Send> Source for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    type SeqIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let cut = (mid * self.size).min(self.slice.len());
+        let (head, tail) = self.slice.split_at_mut(cut);
+        (
+            ChunksMutSource { slice: head, size: self.size },
+            ChunksMutSource { slice: tail, size: self.size },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapter sources
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+pub struct MapSource<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, O, F> Source for MapSource<S, F>
+where
+    S: Source,
+    O: Send,
+    F: Fn(S::Item) -> O + Send + Sync,
+{
+    type Item = O;
+    type SeqIter = MapSeq<S::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (MapSource { base: head, f: self.f.clone() }, MapSource { base: tail, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        MapSeq { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Sequential side of [`MapSource`].
+pub struct MapSeq<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, O, F> Iterator for MapSeq<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> O,
+{
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        self.inner.next().map(|item| (self.f)(item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// `filter` adapter.
+pub struct FilterSource<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, F> Source for FilterSource<S, F>
+where
+    S: Source,
+    F: Fn(&S::Item) -> bool + Send + Sync,
+{
+    type Item = S::Item;
+    type SeqIter = FilterSeq<S::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (FilterSource { base: head, f: self.f.clone() }, FilterSource { base: tail, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        FilterSeq { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Sequential side of [`FilterSource`].
+pub struct FilterSeq<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F> Iterator for FilterSeq<I, F>
+where
+    I: Iterator,
+    F: Fn(&I::Item) -> bool,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.by_ref().find(|item| (self.f)(item))
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMapSource<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+impl<S, O, F> Source for FilterMapSource<S, F>
+where
+    S: Source,
+    O: Send,
+    F: Fn(S::Item) -> Option<O> + Send + Sync,
+{
+    type Item = O;
+    type SeqIter = FilterMapSeq<S::SeqIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (
+            FilterMapSource { base: head, f: self.f.clone() },
+            FilterMapSource { base: tail, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        FilterMapSeq { inner: self.base.into_seq(), f: self.f }
+    }
+}
+
+/// Sequential side of [`FilterMapSource`].
+pub struct FilterMapSeq<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, O, F> Iterator for FilterMapSeq<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> Option<O>,
+{
+    type Item = O;
+
+    fn next(&mut self) -> Option<O> {
+        for item in self.inner.by_ref() {
+            if let Some(mapped) = (self.f)(item) {
+                return Some(mapped);
+            }
+        }
+        None
+    }
+}
+
+/// `flat_map` / `flat_map_iter` adapter.
+pub struct FlatMapSource<S, O: IntoIterator, F> {
+    base: S,
+    f: Arc<F>,
+    _produces: std::marker::PhantomData<fn() -> O>,
+}
+
+impl<S, O, F> Source for FlatMapSource<S, O, F>
+where
+    S: Source,
+    O: IntoIterator,
+    O::Item: Send,
+    F: Fn(S::Item) -> O + Send + Sync,
+{
+    type Item = O::Item;
+    type SeqIter = FlatMapSeq<S::SeqIter, O, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (
+            FlatMapSource { base: head, f: self.f.clone(), _produces: std::marker::PhantomData },
+            FlatMapSource { base: tail, f: self.f, _produces: std::marker::PhantomData },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        FlatMapSeq { inner: self.base.into_seq(), f: self.f, current: None }
+    }
+}
+
+/// Sequential side of [`FlatMapSource`].
+pub struct FlatMapSeq<I, O: IntoIterator, F> {
+    inner: I,
+    f: Arc<F>,
+    current: Option<O::IntoIter>,
+}
+
+impl<I, O, F> Iterator for FlatMapSeq<I, O, F>
+where
+    I: Iterator,
+    O: IntoIterator,
+    F: Fn(I::Item) -> O,
+{
+    type Item = O::Item;
+
+    fn next(&mut self) -> Option<O::Item> {
+        loop {
+            if let Some(current) = &mut self.current {
+                if let Some(item) = current.next() {
+                    return Some(item);
+                }
+            }
+            match self.inner.next() {
+                Some(item) => self.current = Some((self.f)(item).into_iter()),
+                None => return None,
+            }
+        }
+    }
+}
+
+/// `enumerate` adapter; `offset` tracks the chunk's global starting index.
+pub struct EnumerateSource<S> {
+    base: S,
+    offset: usize,
+}
+
+impl<S: Source> Source for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    type SeqIter = EnumerateSeq<S::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (
+            EnumerateSource { base: head, offset: self.offset },
+            EnumerateSource { base: tail, offset: self.offset + mid },
+        )
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        EnumerateSeq { inner: self.base.into_seq(), index: self.offset }
+    }
+}
+
+/// Sequential side of [`EnumerateSource`].
+pub struct EnumerateSeq<I> {
+    inner: I,
+    index: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let item = self.inner.next()?;
+        let index = self.index;
+        self.index += 1;
+        Some((index, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// `zip` adapter; both sides split at the same input positions.
+pub struct ZipSource<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Source, B: Source> Source for ZipSource<A, B> {
+    type Item = (A::Item, B::Item);
+    type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (a_head, a_tail) = self.a.split_at(mid);
+        let (b_head, b_tail) = self.b.split_at(mid);
+        (ZipSource { a: a_head, b: b_head }, ZipSource { a: a_tail, b: b_tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// `copied` adapter.
+pub struct CopiedSource<S> {
+    base: S,
+}
+
+impl<'a, T, S> Source for CopiedSource<S>
+where
+    T: 'a + Copy + Send + Sync,
+    S: Source<Item = &'a T>,
+{
+    type Item = T;
+    type SeqIter = std::iter::Copied<S::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (CopiedSource { base: head }, CopiedSource { base: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.base.into_seq().copied()
+    }
+}
+
+/// `cloned` adapter.
+pub struct ClonedSource<S> {
+    base: S,
+}
+
+impl<'a, T, S> Source for ClonedSource<S>
+where
+    T: 'a + Clone + Send + Sync,
+    S: Source<Item = &'a T>,
+{
+    type Item = T;
+    type SeqIter = std::iter::Cloned<S::SeqIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (head, tail) = self.base.split_at(mid);
+        (ClonedSource { base: head }, ClonedSource { base: tail })
+    }
+
+    fn into_seq(self) -> Self::SeqIter {
+        self.base.into_seq().cloned()
+    }
+}

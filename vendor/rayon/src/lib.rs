@@ -1,72 +1,109 @@
-//! Sequential stand-in for [rayon](https://crates.io/crates/rayon).
+//! Threaded stand-in for [rayon](https://crates.io/crates/rayon).
 //!
 //! The build environment has no network access to crates.io, so the workspace
-//! vendors a minimal, API-compatible subset of rayon that executes everything
-//! on the calling thread. "Parallel" iterators are a thin [`ParIter`] wrapper
-//! around ordinary [`Iterator`]s: adapters with rayon-specific signatures
-//! (`reduce(identity, op)`, `flat_map_iter`, …) are provided as inherent
-//! methods, and everything whose signature matches std (`collect`, `sum`,
-//! `zip`, `any`, …) falls through to the [`Iterator`] implementation, with
-//! sequential semantics and deterministic ordering.
+//! vendors an API-compatible subset of rayon. Unlike the PR-1 sequential
+//! shim, this crate is a **real multithreaded executor**: a lazily created
+//! global [`ThreadPool`] (plus buildable dedicated pools) runs every parallel
+//! operation on `std::thread` workers with per-worker queues and
+//! chunk-stealing (see [`mod@pool`]'s module docs for the execution model),
+//! and [`join`] genuinely blocks on concurrently executing closures.
+//!
+//! # Determinism contract
+//!
+//! Every consumer in this workspace depends on results being independent of
+//! the thread count and of scheduling. The executor guarantees this by
+//! **chunk-ordered recombination**: parallel iterators split work into
+//! contiguous input chunks, and terminal operations recombine per-chunk
+//! results in chunk order (concatenation for `collect`, left-to-right folds
+//! for reductions — see [`iter`]'s module docs for the exact rules), while
+//! [`slice::ParallelSliceMut::par_sort_unstable`] fixes its merge tree as a
+//! function of the input length alone. Reductions must use associative
+//! operations (all integer/boolean reductions in this workspace qualify).
+//!
+//! # Thread-count knobs
+//!
+//! The global pool sizes itself from, in priority order: the
+//! `CLDIAM_THREADS` environment variable, the `RAYON_NUM_THREADS` environment
+//! variable, and the hardware parallelism. [`current_num_threads`] reports
+//! the size of the innermost installed pool (the global default outside any
+//! [`ThreadPool::install`]). Deterministic *generation* chunking must not use
+//! this value — see `cldiam_gen`'s `GEN_CHUNKS`.
 //!
 //! Only the API surface used by the CL-DIAM crates is provided:
 //!
 //! * `prelude::*` with `par_iter` / `par_iter_mut` / `into_par_iter` /
-//!   `par_chunks` / `par_sort_unstable`;
-//! * [`ThreadPool`] / [`ThreadPoolBuilder`] with `install`;
-//! * [`current_num_threads`] and [`join`].
+//!   `par_chunks` / `par_chunks_mut` / `par_sort_unstable`;
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] with a real `install`;
+//! * [`current_num_threads`] and a blocking [`join`].
 //!
 //! Swapping the real rayon back in is a one-line change in each crate's
 //! `Cargo.toml` (drop the `path` key); no source changes are required.
 
 use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 
-/// Simulated thread-count reported by [`current_num_threads`].
-///
-/// The generators use this value to decide how many deterministic chunks to
-/// split work into (each chunk derives its own RNG stream), so it must not
-/// depend on the machine the tests run on.
-pub const SIMULATED_NUM_THREADS: usize = 8;
+pub mod iter;
+pub mod pool;
+pub mod slice;
 
-/// Number of "threads" in the (simulated) global pool.
-///
-/// Always [`SIMULATED_NUM_THREADS`], regardless of the hardware, so that
-/// chunked deterministic generation produces identical graphs everywhere.
+use pool::PoolInner;
+
+/// Number of threads parallel operations issued from this thread will use:
+/// the innermost [`ThreadPool::install`]ed pool's size, or the global pool's
+/// configured size outside any `install`.
 pub fn current_num_threads() -> usize {
-    SIMULATED_NUM_THREADS
+    pool::current_threads()
 }
 
-/// Error returned by [`ThreadPoolBuilder::build`]. Never actually produced.
+/// Error returned by [`ThreadPoolBuilder::build`] when worker threads cannot
+/// be spawned.
 #[derive(Debug)]
-pub struct ThreadPoolBuildError(());
+pub struct ThreadPoolBuildError(std::io::Error);
 
 impl fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "thread pool build error (unreachable in the sequential shim)")
+        write!(f, "failed to spawn thread pool workers: {}", self.0)
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// A "pool" that runs closures on the calling thread.
-#[derive(Debug)]
+/// A pool of worker threads executing parallel operations.
+///
+/// Dropping the pool shuts the workers down and joins them.
 pub struct ThreadPool {
-    num_threads: usize,
+    pub(crate) inner: Arc<PoolInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.inner.threads()).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Executes `op` immediately on the calling thread.
+    /// Runs `op` with this pool installed as the calling thread's current
+    /// pool: every parallel operation inside `op` executes on this pool's
+    /// workers (with the calling thread pitching in).
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        op()
+        pool::with_pool(self.inner.clone(), op)
     }
 
-    /// The configured (simulated) thread count.
+    /// The configured worker count.
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.inner.threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        pool::shutdown(&self.inner, &mut self.handles);
     }
 }
 
@@ -74,6 +111,7 @@ impl ThreadPool {
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
 }
 
 impl ThreadPoolBuilder {
@@ -82,29 +120,38 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the simulated thread count.
+    /// Sets the worker thread count (defaults to the global configuration,
+    /// see the crate docs; clamped to at least 1).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
         self
     }
 
-    /// Accepted for API compatibility; the sequential shim spawns no threads,
-    /// so the name is never used.
-    pub fn thread_name<F>(self, _f: F) -> Self
+    /// Names the worker threads.
+    pub fn thread_name<F>(mut self, f: F) -> Self
     where
-        F: FnMut(usize) -> String,
+        F: FnMut(usize) -> String + 'static,
     {
+        self.thread_name = Some(Box::new(f));
         self
     }
 
-    /// Builds the pool. Infallible in the shim.
+    /// Spawns the workers and builds the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or(SIMULATED_NUM_THREADS).max(1) })
+        let threads = self.num_threads.unwrap_or_else(pool::default_threads).max(1);
+        let mut name = self.thread_name;
+        let (inner, handles) = pool::spawn_workers(threads, |index| match &mut name {
+            Some(f) => f(index),
+            None => format!("rayon-worker-{index}"),
+        })
+        .map_err(ThreadPoolBuildError)?;
+        Ok(ThreadPool { inner, handles })
     }
 }
 
-/// Runs both closures (sequentially, left then right) and returns both
-/// results, mirroring `rayon::join`.
+/// Runs both closures concurrently (the calling thread takes one, an idle
+/// worker of the current pool may take the other) and blocks until both have
+/// returned.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -112,244 +159,43 @@ where
     RA: Send,
     RB: Send,
 {
-    (a(), b())
-}
-
-pub mod iter {
-    //! Sequential equivalents of rayon's parallel iterator traits.
-
-    /// A "parallel" iterator: wraps a sequential [`Iterator`].
-    ///
-    /// Adapters whose rayon signature differs from std (`reduce`,
-    /// `flat_map_iter`, `fold_with`, …) are inherent methods so they shadow
-    /// the [`Iterator`] versions; adapters with identical signatures fall
-    /// through to the [`Iterator`] implementation but are re-wrapped here so
-    /// the chain keeps its rayon-only methods.
-    #[derive(Clone, Debug)]
-    pub struct ParIter<I>(pub(crate) I);
-
-    impl<I: Iterator> Iterator for ParIter<I> {
-        type Item = I::Item;
-
-        fn next(&mut self) -> Option<I::Item> {
-            self.0.next()
+    let current = pool::current_pool();
+    let a = Mutex::new(Some(a));
+    let b = Mutex::new(Some(b));
+    let result_a = Mutex::new(None);
+    let result_b = Mutex::new(None);
+    let task = |index: usize| {
+        fn take<T>(slot: &Mutex<Option<T>>) -> T {
+            slot.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("join closure claimed twice")
         }
-
-        fn size_hint(&self) -> (usize, Option<usize>) {
-            self.0.size_hint()
+        if index == 0 {
+            let out = take(&a)();
+            *result_a.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
+        } else {
+            let out = take(&b)();
+            *result_b.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(out);
         }
-    }
-
-    impl<I: Iterator> ParIter<I> {
-        /// Maps each item through `f`.
-        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-            ParIter(self.0.map(f))
-        }
-
-        /// Keeps items matching `f`.
-        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-            ParIter(self.0.filter(f))
-        }
-
-        /// Filter and map in one pass.
-        pub fn filter_map<O, F: FnMut(I::Item) -> Option<O>>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FilterMap<I, F>> {
-            ParIter(self.0.filter_map(f))
-        }
-
-        /// Maps each item to a nested collection and flattens.
-        pub fn flat_map<O: IntoIterator, F: FnMut(I::Item) -> O>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
-            ParIter(self.0.flat_map(f))
-        }
-
-        /// rayon's `flat_map_iter`: like [`flat_map`](Self::flat_map) but the
-        /// produced iterators are consumed sequentially (which everything in
-        /// this shim is anyway).
-        pub fn flat_map_iter<O: IntoIterator, F: FnMut(I::Item) -> O>(
-            self,
-            f: F,
-        ) -> ParIter<std::iter::FlatMap<I, O, F>> {
-            ParIter(self.0.flat_map(f))
-        }
-
-        /// Pairs each item with its index.
-        pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-            ParIter(self.0.enumerate())
-        }
-
-        /// Zips with another parallel iterator.
-        pub fn zip<Z: IntoParallelIterator>(
-            self,
-            other: Z,
-        ) -> ParIter<std::iter::Zip<I, ParIter<Z::Iter>>> {
-            ParIter(self.0.zip(other.into_par_iter()))
-        }
-
-        /// rayon's `reduce`: folds from `identity()` with `op`.
-        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-        where
-            ID: Fn() -> I::Item,
-            OP: Fn(I::Item, I::Item) -> I::Item,
-        {
-            self.0.fold(identity(), op)
-        }
-
-        /// Accepted for API compatibility; chunking hints are meaningless in
-        /// the sequential shim.
-        pub fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-    }
-
-    impl<'a, T: 'a + Copy, I: Iterator<Item = &'a T>> ParIter<I> {
-        /// Copies borrowed items.
-        pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
-            ParIter(self.0.copied())
-        }
-    }
-
-    impl<'a, T: 'a + Clone, I: Iterator<Item = &'a T>> ParIter<I> {
-        /// Clones borrowed items.
-        pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
-            ParIter(self.0.cloned())
-        }
-    }
-
-    /// Consuming conversion into a "parallel" (here: sequential) iterator.
-    pub trait IntoParallelIterator {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Items yielded.
-        type Item;
-
-        /// Converts `self` into a parallel iterator. Sequential in the shim.
-        fn into_par_iter(self) -> ParIter<Self::Iter>;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
-
-        fn into_par_iter(self) -> ParIter<I::IntoIter> {
-            ParIter(self.into_iter())
-        }
-    }
-
-    /// Borrowing conversion (`par_iter`) for collections whose references
-    /// iterate, mirroring `rayon::iter::IntoParallelRefIterator`.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Items yielded (references into `self`).
-        type Item: 'data;
-
-        /// Iterates `&self`. Sequential in the shim.
-        fn par_iter(&'data self) -> ParIter<Self::Iter>;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
-    where
-        &'data I: IntoIterator,
-        <&'data I as IntoIterator>::Item: 'data,
-    {
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        type Item = <&'data I as IntoIterator>::Item;
-
-        fn par_iter(&'data self) -> ParIter<Self::Iter> {
-            ParIter(self.into_iter())
-        }
-    }
-
-    /// Mutable borrowing conversion (`par_iter_mut`).
-    pub trait IntoParallelRefMutIterator<'data> {
-        /// The iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Items yielded (mutable references into `self`).
-        type Item: 'data;
-
-        /// Iterates `&mut self`. Sequential in the shim.
-        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
-    }
-
-    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
-    where
-        &'data mut I: IntoIterator,
-        <&'data mut I as IntoIterator>::Item: 'data,
-    {
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        type Item = <&'data mut I as IntoIterator>::Item;
-
-        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
-            ParIter(self.into_iter())
-        }
-    }
-}
-
-pub mod slice {
-    //! Sequential equivalents of rayon's slice extensions.
-
-    use crate::iter::ParIter;
-
-    /// `par_chunks` and friends for shared slices.
-    pub trait ParallelSlice<T> {
-        /// Chunked iteration, mirroring `rayon::slice::ParallelSlice`.
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    }
-
-    impl<T> ParallelSlice<T> for [T] {
-        fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-            ParIter(self.chunks(chunk_size))
-        }
-    }
-
-    /// Sorting and chunked mutation for mutable slices.
-    pub trait ParallelSliceMut<T> {
-        /// Mutable chunked iteration.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-
-        /// Unstable sort, mirroring `par_sort_unstable`.
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord;
-
-        /// Unstable sort by key.
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
-
-        /// Unstable sort with a comparator.
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F);
-    }
-
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-            ParIter(self.chunks_mut(chunk_size))
-        }
-
-        fn par_sort_unstable(&mut self)
-        where
-            T: Ord,
-        {
-            self.sort_unstable();
-        }
-
-        fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-            self.sort_unstable_by_key(f);
-        }
-
-        fn par_sort_unstable_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, f: F) {
-            self.sort_unstable_by(f);
-        }
-    }
+    };
+    current.run_batch(2, &task);
+    let ra = result_a
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .expect("join closure a produced no result");
+    let rb = result_b
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .expect("join closure b produced no result");
+    (ra, rb)
 }
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude`.
     pub use crate::iter::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParIter,
     };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
@@ -357,6 +203,8 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_iter_behaves_like_iter() {
@@ -398,10 +246,44 @@ mod tests {
     }
 
     #[test]
-    fn pool_installs_on_calling_thread() {
+    fn par_sort_matches_std_on_large_input() {
+        let mut v: Vec<u64> =
+            (0..100_000u64).map(|i| i.wrapping_mul(0x9E37_79B9) % 10_007).collect();
+        let mut expected = v.clone();
+        expected.sort_unstable();
         let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
-        assert_eq!(pool.install(|| 41 + 1), 42);
+        pool.install(|| v.par_sort_unstable());
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn pool_installs_and_runs_on_workers() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        // A large map visits worker threads, not only the caller.
+        let caller = std::thread::current().id();
+        let ids: HashSet<_> = pool.install(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .map(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(1));
+                    std::thread::current().id()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .collect()
+        });
+        assert!(
+            ids.len() > 1 || !ids.contains(&caller),
+            "expected at least one chunk on a worker thread"
+        );
+    }
+
+    #[test]
+    fn install_controls_current_num_threads() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(super::current_num_threads), 3);
     }
 
     #[test]
@@ -409,5 +291,65 @@ mod tests {
         let v: Vec<usize> = (0..10).collect();
         let total: usize = v.par_chunks(3).map(|c| c.len()).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn join_runs_both_and_blocks() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| super::join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn results_are_identical_across_thread_counts() {
+        let run = || {
+            let evens: Vec<u64> = (0..10_000u64).into_par_iter().filter(|x| x % 2 == 0).collect();
+            let flat: Vec<u64> = (0..100u64).into_par_iter().flat_map_iter(|x| 0..x % 7).collect();
+            let total: u64 = (0..5_000u64).into_par_iter().sum();
+            (evens, flat, total)
+        };
+        let sequential = run();
+        for threads in [1, 2, 8] {
+            let pool = super::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            assert_eq!(pool.install(run), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    if i == 500 {
+                        panic!("boom");
+                    }
+                });
+            })
+        }));
+        assert!(result.is_err());
+        // The pool stays usable afterwards.
+        assert_eq!(pool.install(|| (0..100usize).into_par_iter().count()), 100);
+    }
+
+    #[test]
+    fn for_each_visits_everything_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = super::ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        pool.install(|| {
+            (0..100_000usize).into_par_iter().for_each(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.into_inner(), 100_000);
+    }
+
+    #[test]
+    fn nested_parallelism_does_not_deadlock() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let total: usize = pool.install(|| {
+            (0..8usize).into_par_iter().map(|_| (0..100usize).into_par_iter().count()).sum()
+        });
+        assert_eq!(total, 800);
     }
 }

@@ -1,0 +1,324 @@
+//! The threaded executor: worker threads, per-worker queues, and
+//! chunk-stealing batches.
+//!
+//! Every parallel operation in this crate funnels into [`PoolInner::run_batch`]:
+//! the caller describes the work as `total` independent chunks behind a shared
+//! `Fn(usize)` closure, the batch is announced to the pool, and then *every*
+//! participant — the submitting thread included — claims chunk indices from a
+//! shared atomic counter until none remain. Workers that find their own queue
+//! empty steal batches from their neighbours' queues, so an idle thread always
+//! converges on whatever batch is still running. Because chunks are claimed by
+//! index and results are recombined by index, scheduling order never affects
+//! the outcome.
+//!
+//! The submitting thread blocks until all chunks have *finished* (not merely
+//! been claimed), which is what makes the lifetime erasure in [`Batch::task`]
+//! sound: the closure and everything it borrows outlive the batch.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+/// How many chunks a parallel operation is split into per pool thread. A
+/// small oversubscription factor lets fast threads steal extra chunks from
+/// slow ones without inflating per-chunk bookkeeping.
+pub(crate) const CHUNKS_PER_THREAD: usize = 4;
+
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking chunk poisons nothing logically: batch state stays
+    // consistent (the panic payload is stashed and re-thrown by the caller),
+    // so poisoning is ignored, parking_lot style.
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One submitted parallel operation: `total` chunks behind a shared closure.
+pub(crate) struct Batch {
+    /// Erased pointer to the caller's chunk closure.
+    ///
+    /// # Safety
+    ///
+    /// Dereferenced only between claiming a chunk index and incrementing
+    /// `done` for it; the submitting caller keeps the referent alive until
+    /// `done == total` (it blocks in [`Batch::wait`]), so every dereference
+    /// happens while the closure is still live.
+    task: *const (dyn Fn(usize) + Sync),
+    total: usize,
+    /// Next unclaimed chunk index (may overshoot `total`).
+    next: AtomicUsize,
+    /// Number of chunks that finished executing.
+    done: AtomicUsize,
+    /// First panic payload raised by a chunk, re-thrown by the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    completed: Mutex<bool>,
+    cvar: Condvar,
+}
+
+// SAFETY: the raw `task` pointer is what blocks the auto-traits; it points at
+// a `Sync` closure that outlives the batch (see the field's safety comment),
+// so sharing the pointer across the pool's threads is sound.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn new(task: *const (dyn Fn(usize) + Sync), total: usize) -> Self {
+        Batch {
+            task,
+            total,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            completed: Mutex::new(false),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// `true` once every chunk has been claimed (they may still be running).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Claims and executes chunks until none are left. Called by workers and
+    /// by the submitting thread alike — the "chunk stealing" at the heart of
+    /// the executor.
+    fn help(&self) {
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= self.total {
+                return;
+            }
+            // SAFETY: per the invariant on `task`, the closure is alive until
+            // `done == total`, and this chunk's `done` increment happens after
+            // the call below.
+            let task = unsafe { &*self.task };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
+                let mut slot = lock(&self.panic);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                *lock(&self.completed) = true;
+                self.cvar.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every chunk has finished executing.
+    fn wait(&self) {
+        let mut completed = lock(&self.completed);
+        while !*completed {
+            completed =
+                self.cvar.wait(completed).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Shared state of a thread pool: one work queue per worker plus the sleep
+/// machinery.
+pub(crate) struct PoolInner {
+    /// Per-worker queues of announced batches. A batch stays queued until all
+    /// of its chunks have been claimed, so several workers can pick it up and
+    /// help concurrently; exhausted batches are dropped lazily on the next
+    /// scan.
+    queues: Vec<Mutex<VecDeque<Arc<Batch>>>>,
+    /// Submission generation counter; bumped under the lock on every
+    /// announcement so sleeping workers never miss a wakeup.
+    signals: Mutex<u64>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor distributing announcements over the queues.
+    rr: AtomicUsize,
+    threads: usize,
+}
+
+impl PoolInner {
+    /// Number of worker threads in the pool.
+    pub(crate) fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `total` chunks of `task` on the pool and blocks until all have
+    /// finished. The calling thread participates, so a 1-thread pool (or a
+    /// fully busy one) still makes progress, and nested submissions from
+    /// worker threads cannot deadlock.
+    pub(crate) fn run_batch(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        if total == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only — this function blocks in
+        // `batch.wait()` below until every chunk has finished, so the closure
+        // outlives all dereferences (see the invariant on `Batch::task`).
+        let task: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task)
+        };
+        let batch = Arc::new(Batch::new(task, total));
+        if total > 1 && !self.queues.is_empty() {
+            let slot = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+            lock(&self.queues[slot]).push_back(batch.clone());
+            *lock(&self.signals) += 1;
+            self.wake.notify_all();
+        }
+        batch.help();
+        batch.wait();
+        let payload = lock(&batch.panic).take();
+        if let Some(payload) = payload {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// Finds a batch with unclaimed chunks, preferring the worker's own queue
+    /// and stealing from neighbours otherwise. Exhausted batches encountered
+    /// along the way are retired.
+    fn find_batch(&self, start: usize) -> Option<Arc<Batch>> {
+        let queues = self.queues.len();
+        for offset in 0..queues {
+            let mut queue = lock(&self.queues[(start + offset) % queues]);
+            while let Some(front) = queue.front() {
+                if front.exhausted() {
+                    queue.pop_front();
+                    continue;
+                }
+                // Clone, but leave the batch queued so other idle workers can
+                // join in; it is retired above once all chunks are claimed.
+                return Some(front.clone());
+            }
+        }
+        None
+    }
+
+    fn worker_loop(self: &Arc<Self>, index: usize) {
+        loop {
+            // Snapshot the generation *before* scanning: a submission that
+            // lands between the scan and the wait bumps the generation, so the
+            // wait below returns immediately instead of losing the wakeup.
+            let seen = *lock(&self.signals);
+            if let Some(batch) = self.find_batch(index) {
+                batch.help();
+                continue;
+            }
+            let mut signals = lock(&self.signals);
+            loop {
+                if self.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if *signals != seen {
+                    break;
+                }
+                signals =
+                    self.wake.wait(signals).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Stack of pools "installed" on this thread; parallel operations run on
+    /// the top entry (the global pool when empty). Worker threads pin their
+    /// own pool at the bottom of their stack for their entire lifetime.
+    static CURRENT_POOL: RefCell<Vec<Arc<PoolInner>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The pool parallel operations on this thread execute on.
+pub(crate) fn current_pool() -> Arc<PoolInner> {
+    CURRENT_POOL
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| global_pool().inner.clone())
+}
+
+/// Thread count governing parallel operations issued from this thread, without
+/// forcing the global pool into existence.
+pub(crate) fn current_threads() -> usize {
+    CURRENT_POOL
+        .with(|stack| stack.borrow().last().map(|pool| pool.threads()))
+        .unwrap_or_else(default_threads)
+}
+
+/// Pushes `pool` onto the calling thread's pool stack for the duration of
+/// `op` (popped even if `op` panics).
+pub(crate) fn with_pool<R>(pool: Arc<PoolInner>, op: impl FnOnce() -> R) -> R {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            CURRENT_POOL.with(|stack| {
+                stack.borrow_mut().pop();
+            });
+        }
+    }
+    CURRENT_POOL.with(|stack| stack.borrow_mut().push(pool));
+    let _guard = PopOnDrop;
+    op()
+}
+
+/// Default pool size: `CLDIAM_THREADS`, then `RAYON_NUM_THREADS`, then the
+/// hardware parallelism. Cached once per process so the global pool and
+/// [`crate::current_num_threads`] always agree.
+pub(crate) fn default_threads() -> usize {
+    static SIZE: OnceLock<usize> = OnceLock::new();
+    *SIZE.get_or_init(|| {
+        for key in ["CLDIAM_THREADS", "RAYON_NUM_THREADS"] {
+            if let Ok(value) = std::env::var(key) {
+                if let Ok(parsed) = value.trim().parse::<usize>() {
+                    if parsed >= 1 {
+                        return parsed;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The lazily created global pool (never torn down).
+fn global_pool() -> &'static crate::ThreadPool {
+    static GLOBAL: OnceLock<crate::ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(default_threads())
+            .thread_name(|index| format!("cldiam-rayon-{index}"))
+            .build()
+            .expect("failed to build the global thread pool")
+    })
+}
+
+/// Spawns `threads` workers, each pinned to its queue index.
+pub(crate) fn spawn_workers(
+    threads: usize,
+    mut name: impl FnMut(usize) -> String,
+) -> std::io::Result<(Arc<PoolInner>, Vec<JoinHandle<()>>)> {
+    let inner = Arc::new(PoolInner {
+        queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        signals: Mutex::new(0),
+        wake: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        rr: AtomicUsize::new(0),
+        threads,
+    });
+    let mut handles = Vec::with_capacity(threads);
+    for index in 0..threads {
+        let pool = inner.clone();
+        let handle = std::thread::Builder::new().name(name(index)).spawn(move || {
+            // Parallel operations issued from inside a chunk run on this
+            // worker's own pool.
+            CURRENT_POOL.with(|stack| stack.borrow_mut().push(pool.clone()));
+            pool.worker_loop(index);
+        })?;
+        handles.push(handle);
+    }
+    Ok((inner, handles))
+}
+
+/// Signals shutdown and joins the workers. Called from `ThreadPool::drop`.
+pub(crate) fn shutdown(inner: &PoolInner, handles: &mut Vec<JoinHandle<()>>) {
+    inner.shutdown.store(true, Ordering::Relaxed);
+    *lock(&inner.signals) += 1;
+    inner.wake.notify_all();
+    for handle in handles.drain(..) {
+        let _ = handle.join();
+    }
+}

@@ -1,0 +1,232 @@
+//! Parallel slice extensions: `par_chunks`, `par_chunks_mut`, and the
+//! parallel unstable sorts.
+//!
+//! The sort is a chunked merge sort: the slice is cut into a **fixed** number
+//! of pieces (a function of the length only, never of the pool size), the
+//! pieces are sorted concurrently on the pool, and sorted runs are merged
+//! pairwise — also concurrently — through a scratch buffer. Because both the
+//! chunking and the merge order depend only on the input length, the result
+//! is identical at every thread count.
+
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::sync::Mutex;
+
+use crate::iter::{ChunksMutSource, ChunksSource, ParIter};
+use crate::pool::current_pool;
+
+/// Inputs at or below this length sort sequentially (`slice::sort_unstable`).
+const SORT_SEQ_CUTOFF: usize = 4096;
+
+/// Number of initial sorted runs for larger inputs. Fixed (not derived from
+/// the pool) so the merge tree — and therefore the exact output permutation —
+/// is the same at every thread count.
+const SORT_CHUNKS: usize = 16;
+
+/// `par_chunks` for shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices (the final chunk
+    /// may be shorter), mirroring `rayon::slice::ParallelSlice`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSource<'_, T>> {
+        ParIter::new(ChunksSource::new(self, chunk_size))
+    }
+}
+
+/// Chunked mutation and sorting for mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable `chunk_size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSource<'_, T>>;
+
+    /// Parallel unstable sort, mirroring `par_sort_unstable`.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Parallel unstable sort by key.
+    ///
+    /// Unlike the `FnMut` of `slice::sort_unstable_by_key`, the key function
+    /// is shared across threads and must be `Fn + Sync`.
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F);
+
+    /// Parallel unstable sort with a comparator (`Fn + Sync`, shared across
+    /// threads).
+    ///
+    /// A comparator that panics during the merge phase aborts the process
+    /// (the merge moves elements through a scratch buffer and cannot unwind
+    /// safely); panics during the initial chunk sorts propagate normally.
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, f: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSource<'_, T>> {
+        ParIter::new(ChunksMutSource::new(self, chunk_size))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_sort_by(self, T::cmp);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, f: F) {
+        par_sort_by(self, |a, b| f(a).cmp(&f(b)));
+    }
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, f: F) {
+        par_sort_by(self, f);
+    }
+}
+
+/// Raw pointer that may cross threads; disjointness of the regions accessed
+/// through it is guaranteed by the merge plan (each task owns one output run).
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. A method (rather than direct field access) so
+    /// 2021-edition closures capture the `Sync` wrapper, not the raw field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: see the type docs — every task dereferences a disjoint region.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Aborts the process if dropped while unwinding; `forget` it on success.
+struct AbortOnUnwind;
+
+impl Drop for AbortOnUnwind {
+    fn drop(&mut self) {
+        eprintln!("fatal: comparator panicked during a parallel merge; aborting");
+        std::process::abort();
+    }
+}
+
+fn par_sort_by<T, C>(v: &mut [T], cmp: C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let n = v.len();
+    if n <= SORT_SEQ_CUTOFF {
+        v.sort_unstable_by(&cmp);
+        return;
+    }
+    let pool = current_pool();
+    let run_len = n.div_ceil(SORT_CHUNKS);
+
+    // Phase 1: sort each run concurrently. `slice::sort_unstable_by` is
+    // panic-safe, so comparator panics here unwind normally via the pool.
+    {
+        let runs: Vec<Mutex<Option<&mut [T]>>> =
+            v.chunks_mut(run_len).map(|chunk| Mutex::new(Some(chunk))).collect();
+        let task = |index: usize| {
+            let run = runs[index]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .take()
+                .expect("sort run claimed twice");
+            run.sort_unstable_by(&cmp);
+        };
+        pool.run_batch(runs.len(), &task);
+    }
+
+    // Phase 2: merge sorted runs pairwise, ping-ponging between the slice and
+    // a scratch buffer. The scratch holds bitwise copies that are never
+    // dropped (`MaybeUninit`), so ownership stays with the slice throughout.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: `MaybeUninit` contents may be left uninitialized.
+    unsafe { scratch.set_len(n) };
+
+    let mut width = run_len;
+    let mut in_slice = true; // where the current runs live
+    while width < n {
+        let (src, dst) = if in_slice {
+            (v.as_mut_ptr(), scratch.as_mut_ptr() as *mut T)
+        } else {
+            (scratch.as_mut_ptr() as *mut T, v.as_mut_ptr())
+        };
+        let pairs = n.div_ceil(2 * width);
+        let src = SendPtr(src);
+        let dst = SendPtr(dst);
+        let task = |pair: usize| {
+            let lo = pair * 2 * width;
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            let guard = AbortOnUnwind;
+            // SAFETY: [lo, hi) regions are disjoint across tasks; `src` and
+            // `dst` are distinct buffers of length `n`; both hold initialized
+            // `T`s in [lo, hi) (src: the sorted runs of this round; dst is
+            // write-only).
+            unsafe {
+                merge_into(
+                    src.get().add(lo),
+                    mid - lo,
+                    src.get().add(mid),
+                    hi - mid,
+                    dst.get().add(lo),
+                    &cmp,
+                );
+            }
+            std::mem::forget(guard);
+        };
+        pool.run_batch(pairs, &task);
+        width *= 2;
+        in_slice = !in_slice;
+    }
+
+    if !in_slice {
+        // Result ended up in the scratch buffer; copy it home. The slice's
+        // previous contents are plain bits of moved-from values — overwriting
+        // them drops nothing and restores unique ownership to the slice.
+        // SAFETY: both buffers have length `n` and do not overlap.
+        unsafe {
+            std::ptr::copy_nonoverlapping(scratch.as_ptr() as *const T, v.as_mut_ptr(), n);
+        }
+    }
+    // `scratch` is dropped as raw capacity: `MaybeUninit` has no drop glue, so
+    // no `T` is ever dropped from it.
+}
+
+/// Merges the sorted runs `a[0..a_len]` and `b[0..b_len]` into `out`,
+/// preferring `a` on ties (deterministic, left-run-first).
+///
+/// # Safety
+///
+/// `a`, `b`, and `out` must be valid for the given lengths, `out` disjoint
+/// from both inputs, and all inputs initialized. Elements are *copied*; the
+/// caller is responsible for ensuring only one of source/destination is
+/// treated as owning afterwards.
+unsafe fn merge_into<T, C: Fn(&T, &T) -> Ordering>(
+    mut a: *const T,
+    a_len: usize,
+    mut b: *const T,
+    b_len: usize,
+    mut out: *mut T,
+    cmp: &C,
+) {
+    let a_end = a.add(a_len);
+    let b_end = b.add(b_len);
+    while a < a_end && b < b_end {
+        let take_a = cmp(&*a, &*b) != Ordering::Greater;
+        let src = if take_a { a } else { b };
+        std::ptr::copy_nonoverlapping(src, out, 1);
+        out = out.add(1);
+        if take_a {
+            a = a.add(1);
+        } else {
+            b = b.add(1);
+        }
+    }
+    let a_rest = a_end.offset_from(a) as usize;
+    std::ptr::copy_nonoverlapping(a, out, a_rest);
+    out = out.add(a_rest);
+    let b_rest = b_end.offset_from(b) as usize;
+    std::ptr::copy_nonoverlapping(b, out, b_rest);
+}
