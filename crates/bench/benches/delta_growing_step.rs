@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use cldiam_core::{mr_impl::mr_partial_growth, partial_growth, GrowState};
+use cldiam_core::{mr_impl::mr_partial_growth, partial_growth, GrowScratch, GrowState};
 use cldiam_gen::{mesh, WeightModel};
 use cldiam_graph::NodeId;
 use cldiam_mr::{MrConfig, MrEngine};
@@ -29,9 +29,19 @@ fn bench_growing(c: &mut Criterion) {
         let threshold = 4 * i64::from(cldiam_graph::WEIGHT_SCALE);
 
         group.bench_with_input(BenchmarkId::new("shared_memory", side), &graph, |b, g| {
+            let mut scratch = GrowScratch::with_capacity(g.num_nodes());
             b.iter(|| {
                 let mut state = seeded_state(g.num_nodes(), &centers);
-                partial_growth(g, threshold, threshold as u64, &mut state, None, None, None)
+                partial_growth(
+                    g,
+                    threshold,
+                    threshold as u64,
+                    &mut state,
+                    None,
+                    None,
+                    None,
+                    &mut scratch,
+                )
             })
         });
         if side <= 64 {

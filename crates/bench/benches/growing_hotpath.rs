@@ -1,0 +1,88 @@
+//! `growing_hotpath`: the allocation-free in-place Δ-growing hot path versus
+//! the materializing two-phase reference it replaced.
+//!
+//! Both variants run a full `PartialGrowth` to fixpoint from the same seeded
+//! centers on the repo's standard mesh and R-MAT specs. `in_place` is the
+//! production path (`partial_growth` over a reused `GrowScratch`: CAS
+//! relaxation into atomic cells, no proposal materialization); `materialized`
+//! drives `delta_growing_step_materialized`, which builds the per-wave
+//! proposal vector exactly like the pre-refactor code. Results go into
+//! `BENCH_growing.json` at the repo root, alongside the host CPU count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_core::{
+    delta_growing_step_materialized, partial_growth, GrowScratch, GrowState, NO_CENTER,
+};
+use cldiam_gen::{mesh, rmat, RmatParams, WeightModel};
+use cldiam_graph::{Dist, Graph, NodeId, WEIGHT_SCALE};
+
+fn seeded_state(n: usize, centers: &[NodeId]) -> GrowState {
+    let mut state = GrowState::new(n);
+    for &c in centers {
+        state.set_center(c);
+    }
+    state
+}
+
+fn spread_centers(n: usize, k: usize) -> Vec<NodeId> {
+    (0..k).map(|i| (i * n / k) as NodeId).collect()
+}
+
+/// Reference driver: the two-phase step looped to fixpoint, mirroring
+/// `partial_growth` without the in-place machinery.
+fn materialized_growth(graph: &Graph, threshold: i64, light_limit: Dist, state: &mut GrowState) {
+    let mut frontier: Vec<NodeId> = (0..state.len() as NodeId)
+        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .collect();
+    while !frontier.is_empty() {
+        let (updated, _) =
+            delta_growing_step_materialized(graph, threshold, light_limit, state, &frontier);
+        frontier = updated;
+    }
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("growing_hotpath");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let workloads: Vec<(String, Graph)> = vec![
+        ("mesh64".to_string(), mesh(64, WeightModel::UniformUnit, 7)),
+        ("rmat10".to_string(), rmat(RmatParams::paper(10), WeightModel::UniformUnit, 7)),
+    ];
+
+    for (name, graph) in &workloads {
+        let centers = spread_centers(graph.num_nodes(), 8);
+        let threshold = 4 * i64::from(WEIGHT_SCALE);
+
+        group.bench_with_input(BenchmarkId::new("in_place", name), graph, |b, g| {
+            let mut scratch = GrowScratch::with_capacity(g.num_nodes());
+            b.iter(|| {
+                let mut state = seeded_state(g.num_nodes(), &centers);
+                partial_growth(
+                    g,
+                    threshold,
+                    threshold as Dist,
+                    &mut state,
+                    None,
+                    None,
+                    None,
+                    &mut scratch,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialized", name), graph, |b, g| {
+            b.iter(|| {
+                let mut state = seeded_state(g.num_nodes(), &centers);
+                materialized_growth(g, threshold, threshold as Dist, &mut state);
+                state
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

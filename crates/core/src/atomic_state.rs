@@ -1,0 +1,356 @@
+//! Lock-free-in-spirit per-node atomic growth state for the in-place
+//! Δ-growing hot path.
+//!
+//! The two-phase formulation of a Δ-growing step (materialize every
+//! relaxation proposal, then reduce per target) pays O(frontier + proposals)
+//! heap traffic per wave. [`AtomicGrowCells`] removes that: every proposal is
+//! applied *in place* with a CAS loop against the target's cell, and the cell
+//! converges to the minimum proposal under the total order
+//!
+//! ```text
+//! (eff, center, src)
+//! ```
+//!
+//! which is exactly the winner the literal MapReduce reducer picks:
+//!
+//! * smallest effective distance first, then smallest center index — the
+//!   paper's scheduling-independent tie-break;
+//! * `src` (the proposing frontier node, biased by `+1` so that `0` can mean
+//!   "settled before this wave") breaks the remaining ties the way the MR
+//!   reducer's first-proposal-in-shuffle-order rule does. Frontiers are kept
+//!   sorted, so the first proposal with the winning `(eff, center)` key is the
+//!   one from the smallest source node; among equal `(eff, center, src)` the
+//!   payload is identical, so any representative is the right one. Without
+//!   this third component the *key* reduction would still be deterministic but
+//!   the `true_dist` payload riding along would not, because two sources can
+//!   propose the same `(eff, center)` with different accumulated
+//!   original-graph distances.
+//!
+//! # Why a sequence word instead of literally one packed word
+//!
+//! The winning key is 128 bits wide (`eff: i64`, `center: u32`, `src: u32`)
+//! and a `true_dist: u64` payload rides along, so the state cannot be packed
+//! into one portable atomic word without truncating distances. Instead each
+//! node carries a sequence word (`seq`) that turns its four field words into
+//! one logically-atomic value, seqlock style:
+//!
+//! * even `seq` — the fields are consistent and may be read optimistically
+//!   (validate by re-reading `seq` afterwards);
+//! * a writer acquires the cell by CAS-ing `seq` from even to odd, stores the
+//!   fields, and releases with `seq + 2`.
+//!
+//! The CAS loop in [`AtomicGrowCells::propose`] is therefore a fetch-min over
+//! the triple: a proposal is rejected without ever taking the cell lock unless
+//! it strictly improves the current value, every successful write strictly
+//! decreases the key, and the cell converges to the global minimum of all
+//! proposals regardless of thread count or scheduling. All of this is
+//! unsafe-free: the fields are ordinary `std::sync::atomic` types.
+
+use std::sync::atomic::{fence, AtomicI64, AtomicU32, AtomicU64, Ordering};
+
+use rayon::prelude::*;
+
+use cldiam_graph::{Dist, NodeId};
+
+use crate::state::GrowState;
+
+/// Result of [`AtomicGrowCells::propose`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Proposed {
+    /// The proposal did not improve the cell (it was ≥ the current key).
+    Rejected,
+    /// The proposal was written into the cell.
+    Improved {
+        /// `true` iff this write reached the node for the first time (its
+        /// center was [`crate::state::NO_CENTER`] before the write). At most
+        /// one proposal per node can ever observe this.
+        newly_reached: bool,
+    },
+}
+
+/// Per-node growth state in atomic cells, supporting concurrent in-place
+/// relaxation. See the module docs for the protocol.
+#[derive(Debug, Default)]
+pub struct AtomicGrowCells {
+    /// Sequence word per node: even = consistent, odd = writer active.
+    seq: Vec<AtomicU32>,
+    /// Effective (contracted-graph) distance; primary key component.
+    eff: Vec<AtomicI64>,
+    /// Assigned cluster center; secondary key component.
+    center: Vec<AtomicU32>,
+    /// Proposing frontier node + 1 of the current value, or `0` when the value
+    /// predates the current wave ("settled"); final tie-break component.
+    src: Vec<AtomicU32>,
+    /// Original-graph distance upper bound; payload, not part of the key.
+    true_dist: Vec<AtomicU64>,
+    /// Frozen flags, immutable during a growth: frozen nodes are never
+    /// proposed to (they only act as sources).
+    frozen: Vec<bool>,
+}
+
+impl AtomicGrowCells {
+    /// Empty cell block; sized lazily by [`AtomicGrowCells::load_from`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// `true` if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    fn resize(&mut self, n: usize) {
+        if self.seq.len() != n {
+            self.seq = (0..n).map(|_| AtomicU32::new(0)).collect();
+            self.eff = (0..n).map(|_| AtomicI64::new(0)).collect();
+            self.center = (0..n).map(|_| AtomicU32::new(0)).collect();
+            self.src = (0..n).map(|_| AtomicU32::new(0)).collect();
+            self.true_dist = (0..n).map(|_| AtomicU64::new(0)).collect();
+        }
+    }
+
+    /// Loads a [`GrowState`] into the cells, resetting every sequence word and
+    /// marking every value as settled. Called once per `PartialGrowth`, not
+    /// per wave.
+    pub fn load_from(&mut self, state: &GrowState) {
+        let n = state.len();
+        self.resize(n);
+        self.frozen.clear();
+        self.frozen.extend_from_slice(&state.frozen);
+        let cells = &*self;
+        (0..n).into_par_iter().with_min_len(2048).for_each(|u| {
+            cells.seq[u].store(0, Ordering::Relaxed);
+            cells.eff[u].store(state.eff[u], Ordering::Relaxed);
+            cells.center[u].store(state.center[u], Ordering::Relaxed);
+            cells.src[u].store(0, Ordering::Relaxed);
+            cells.true_dist[u].store(state.true_dist[u], Ordering::Relaxed);
+        });
+    }
+
+    /// Writes the cells back into a [`GrowState`]. Must only be called when no
+    /// wave is in flight (all sequence words even).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` tracks a different number of nodes than the cells.
+    pub fn store_into(&self, state: &mut GrowState) {
+        let n = self.len();
+        assert_eq!(state.len(), n, "cells do not match the state");
+        const CHUNK: usize = 2048;
+        let eff = &self.eff;
+        let center = &self.center;
+        let true_dist = &self.true_dist;
+        state.eff.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * CHUNK;
+            for (i, e) in chunk.iter_mut().enumerate() {
+                *e = eff[base + i].load(Ordering::Relaxed);
+            }
+        });
+        state.center.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * CHUNK;
+            for (i, c) in chunk.iter_mut().enumerate() {
+                *c = center[base + i].load(Ordering::Relaxed);
+            }
+        });
+        state.true_dist.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
+            let base = ci * CHUNK;
+            for (i, d) in chunk.iter_mut().enumerate() {
+                *d = true_dist[base + i].load(Ordering::Relaxed);
+            }
+        });
+    }
+
+    /// Quiescent read of `(eff, center, true_dist)` for node `v` (no wave in
+    /// flight). Used to snapshot the frontier's pre-wave state.
+    #[inline]
+    pub fn read(&self, v: usize) -> (i64, NodeId, Dist) {
+        (
+            self.eff[v].load(Ordering::Relaxed),
+            self.center[v].load(Ordering::Relaxed),
+            self.true_dist[v].load(Ordering::Relaxed),
+        )
+    }
+
+    /// `true` if `v` was frozen when the cells were loaded.
+    #[inline]
+    pub fn is_frozen(&self, v: usize) -> bool {
+        self.frozen[v]
+    }
+
+    /// Marks node `v` as settled (clears the source tie-break), so that
+    /// next-wave proposals with an equal `(eff, center)` key lose against it —
+    /// the same "strictly better or rejected" rule the two-phase apply loop
+    /// used between waves. Must be called between waves for every node updated
+    /// in the previous wave.
+    #[inline]
+    pub fn settle(&self, v: usize) {
+        self.src[v].store(0, Ordering::Relaxed);
+    }
+
+    /// Attempts to improve node `v` with the proposal
+    /// `(eff, center, src_plus, true_d)`, where `src_plus` is the proposing
+    /// frontier node + 1. Returns whether the cell was improved, and if so
+    /// whether this was the node's first assignment ever.
+    ///
+    /// Concurrent callers converge to the minimum proposal under the
+    /// `(eff, center, src_plus)` order; the outcome is independent of thread
+    /// count and scheduling.
+    #[inline]
+    pub fn propose(
+        &self,
+        v: usize,
+        eff: i64,
+        center: NodeId,
+        src_plus: NodeId,
+        true_d: Dist,
+    ) -> Proposed {
+        // Fast reject on a single relaxed load: `eff` is non-increasing over a
+        // cell's lifetime (every write strictly decreases the key), so any
+        // observed value upper-bounds the final one — if the proposal is
+        // already above it, it can never win. This is the common case in dense
+        // waves and skips the validated read entirely.
+        if eff > self.eff[v].load(Ordering::Relaxed) {
+            return Proposed::Rejected;
+        }
+        let seq = &self.seq[v];
+        loop {
+            let s = seq.load(Ordering::Acquire);
+            if s & 1 == 1 {
+                // A writer holds the cell; it is about to strictly decrease
+                // the key, so we must re-read before deciding anything.
+                std::hint::spin_loop();
+                continue;
+            }
+            let cur_eff = self.eff[v].load(Ordering::Relaxed);
+            let cur_center = self.center[v].load(Ordering::Relaxed);
+            let cur_src = self.src[v].load(Ordering::Relaxed);
+            // Order the field loads before the validating re-read of `seq`.
+            fence(Ordering::Acquire);
+            if seq.load(Ordering::Relaxed) != s {
+                continue; // torn read; retry
+            }
+            if (eff, center, src_plus) >= (cur_eff, cur_center, cur_src) {
+                return Proposed::Rejected;
+            }
+            // Acquire the cell: even -> odd. Success proves the fields did not
+            // change since the validated read (every write bumps `seq`), so
+            // the comparison above still holds and we can write immediately.
+            if seq.compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_ok() {
+                // Order the odd `seq` store before the field stores: without
+                // this store-store barrier a weakly-ordered machine could make
+                // a half-written field visible while `seq` still reads as the
+                // stale even value, letting a concurrent proposer validate a
+                // torn key and wrongly reject a winning proposal.
+                fence(Ordering::Release);
+                self.eff[v].store(eff, Ordering::Relaxed);
+                self.center[v].store(center, Ordering::Relaxed);
+                self.src[v].store(src_plus, Ordering::Relaxed);
+                self.true_dist[v].store(true_d, Ordering::Relaxed);
+                let newly_reached = cur_center == crate::state::NO_CENTER;
+                seq.store(s.wrapping_add(2), Ordering::Release);
+                return Proposed::Improved { newly_reached };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{GrowState, EFF_INFINITY, NO_CENTER};
+
+    fn cells_for(n: usize) -> AtomicGrowCells {
+        let state = GrowState::new(n);
+        let mut cells = AtomicGrowCells::new();
+        cells.load_from(&state);
+        cells
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut state = GrowState::new(3);
+        state.set_center(1);
+        state.center[2] = 1;
+        state.eff[2] = 5;
+        state.true_dist[2] = 5;
+        state.frozen[0] = true;
+        let mut cells = AtomicGrowCells::new();
+        cells.load_from(&state);
+        assert!(cells.is_frozen(0));
+        assert!(!cells.is_frozen(2));
+        let mut out = GrowState::new(3);
+        out.frozen.copy_from_slice(&state.frozen);
+        cells.store_into(&mut out);
+        assert_eq!(out.eff, state.eff);
+        assert_eq!(out.center, state.center);
+        assert_eq!(out.true_dist, state.true_dist);
+    }
+
+    #[test]
+    fn propose_improves_and_reports_first_reach() {
+        let cells = cells_for(2);
+        assert_eq!(cells.read(1), (EFF_INFINITY, NO_CENTER, Dist::MAX));
+        assert_eq!(cells.propose(1, 10, 0, 1, 10), Proposed::Improved { newly_reached: true });
+        assert_eq!(cells.propose(1, 4, 0, 1, 4), Proposed::Improved { newly_reached: false });
+        assert_eq!(cells.read(1), (4, 0, 4));
+    }
+
+    #[test]
+    fn propose_rejects_equal_and_worse_keys() {
+        let cells = cells_for(2);
+        cells.propose(1, 5, 2, 3, 5);
+        // Worse eff, equal key, worse center, worse src: all rejected.
+        assert_eq!(cells.propose(1, 6, 0, 1, 6), Proposed::Rejected);
+        assert_eq!(cells.propose(1, 5, 2, 3, 99), Proposed::Rejected);
+        assert_eq!(cells.propose(1, 5, 3, 1, 5), Proposed::Rejected);
+        assert_eq!(cells.propose(1, 5, 2, 4, 5), Proposed::Rejected);
+        // Equal (eff, center) from a smaller source wins: the MR reducer keeps
+        // the first proposal in shuffle order, which is the smallest source.
+        assert!(matches!(cells.propose(1, 5, 2, 2, 7), Proposed::Improved { .. }));
+        assert_eq!(cells.read(1), (5, 2, 7));
+    }
+
+    #[test]
+    fn settle_wins_ties_against_later_waves() {
+        let cells = cells_for(2);
+        cells.propose(1, 5, 2, 3, 5);
+        cells.settle(1);
+        // Same (eff, center) from any source now loses: the value predates the
+        // wave and the two-phase rule only replaces on strict improvement.
+        assert_eq!(cells.propose(1, 5, 2, 1, 5), Proposed::Rejected);
+        assert!(matches!(cells.propose(1, 4, 9, 1, 4), Proposed::Improved { .. }));
+    }
+
+    #[test]
+    fn concurrent_proposals_converge_to_the_minimum() {
+        let mut state = GrowState::new(1);
+        state.frozen.clear();
+        state.frozen.push(false);
+        let mut cells = AtomicGrowCells::new();
+        cells.load_from(&state);
+        // Hammer the single cell from 8 OS threads with interleaved keys; the
+        // cell must end at the global minimum (1, 0, src 1) with its payload.
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let cells = &cells;
+                scope.spawn(move || {
+                    for round in 0..1000u32 {
+                        let eff = i64::from((round.wrapping_mul(7) + t) % 64) + 1;
+                        let center = (round + t) % 16;
+                        let src = t + 1;
+                        cells.propose(0, eff, center, src, eff as Dist);
+                    }
+                    // Every thread also fires the global minimum once.
+                    cells.propose(0, 1, 0, t + 1, 1);
+                });
+            }
+        });
+        assert_eq!(cells.read(0), (1, 0, 1));
+        assert_eq!(cells.src[0].load(Ordering::Relaxed), 1);
+    }
+}

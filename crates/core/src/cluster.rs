@@ -23,7 +23,7 @@ use cldiam_graph::{Dist, Graph, NodeId};
 
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
-use crate::growing::partial_growth;
+use crate::growing::{partial_growth, GrowScratch};
 use crate::state::GrowState;
 
 /// The paper's constant `γ = 4 ln 2` used in the center-selection probability.
@@ -37,16 +37,20 @@ pub const GAMMA: f64 = 2.772_588_722_239_781;
 /// components independently).
 pub fn cluster(graph: &Graph, config: &ClusterConfig) -> Clustering {
     let tracker = CostTracker::new();
-    let state = cluster_state(graph, config, &tracker);
+    let mut scratch = GrowScratch::with_capacity(graph.num_nodes());
+    let state = cluster_state(graph, config, &tracker, &mut scratch);
     finalize(graph, state, &tracker)
 }
 
 /// Internal driver shared with `CLUSTER2`: runs the staged decomposition and
-/// returns the raw grow-state plus bookkeeping.
+/// returns the raw grow-state plus bookkeeping. The caller provides the
+/// growing scratch, so every stage and every wave of the decomposition reuses
+/// the same frontier buffers and atomic cells.
 pub(crate) fn cluster_state(
     graph: &Graph,
     config: &ClusterConfig,
     tracker: &CostTracker,
+    scratch: &mut GrowScratch,
 ) -> ClusterRun {
     let n = graph.num_nodes();
     let mut run = ClusterRun {
@@ -112,6 +116,7 @@ pub(crate) fn cluster_state(
                 Some(target),
                 config.max_growing_steps_per_phase,
                 Some(tracker),
+                scratch,
             );
             run.growing_steps += outcome.steps;
             if outcome.reached_unfrozen >= target {

@@ -30,10 +30,10 @@ use rand_xoshiro::Xoshiro256PlusPlus;
 
 use cldiam_graph::{Dist, Graph, NodeId};
 
-use crate::cluster::{cluster, finalize, ClusterRun};
+use crate::cluster::{cluster_state, finalize, ClusterRun};
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
-use crate::growing::partial_growth;
+use crate::growing::{partial_growth2, GrowScratch};
 use crate::state::GrowState;
 
 /// Runs `CLUSTER2(G, τ)` and returns the resulting clustering.
@@ -51,8 +51,15 @@ pub fn cluster2(graph: &Graph, config: &ClusterConfig) -> Clustering {
         );
     }
 
+    // One scratch serves the preliminary CLUSTER run and every iteration.
+    let mut scratch = GrowScratch::with_capacity(n);
+
     // Step 1: learn R_CL(τ) from a CLUSTER run.
-    let preliminary = cluster(graph, config);
+    let preliminary = {
+        let pre_tracker = CostTracker::new();
+        let run = cluster_state(graph, config, &pre_tracker, &mut scratch);
+        finalize(graph, run, &pre_tracker)
+    };
     let r_cl = preliminary.radius.max(1);
     let threshold: Dist = r_cl.saturating_mul(2);
     tracker.add_rounds(preliminary.metrics.rounds);
@@ -99,14 +106,14 @@ pub fn cluster2(graph: &Graph, config: &ClusterConfig) -> Clustering {
         tracker.add_messages(uncovered.len() as u64);
 
         // PartialGrowth2: grow until no state is updated.
-        let outcome = partial_growth(
+        let outcome = partial_growth2(
             graph,
             threshold as i64,
             threshold,
             &mut state,
-            None,
             config.max_growing_steps_per_phase,
             Some(&tracker),
+            &mut scratch,
         );
         growing_steps += outcome.steps;
 
@@ -135,6 +142,7 @@ pub fn cluster2(graph: &Graph, config: &ClusterConfig) -> Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cluster::cluster;
     use cldiam_gen::{mesh, road_network, WeightModel};
     use cldiam_graph::largest_component;
     use cldiam_sssp::dijkstra;

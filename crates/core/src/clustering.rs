@@ -42,12 +42,20 @@ impl Clustering {
     }
 
     /// Sizes of every cluster, keyed by center.
+    ///
+    /// Counts through a dense per-slot vector (`centers` is sorted, so a
+    /// binary search maps a center to its slot) and assembles the map once at
+    /// the end, instead of rehashing an accumulator on every node. Nodes
+    /// assigned to a non-center (an invalid clustering; see
+    /// [`Clustering::validate`]) are skipped.
     pub fn cluster_sizes(&self) -> HashMap<NodeId, usize> {
-        let mut sizes: HashMap<NodeId, usize> = HashMap::with_capacity(self.centers.len());
+        let mut counts = vec![0usize; self.centers.len()];
         for &c in &self.assignment {
-            *sizes.entry(c).or_insert(0) += 1;
+            if let Ok(slot) = self.centers.binary_search(&c) {
+                counts[slot] += 1;
+            }
         }
-        sizes
+        self.centers.iter().copied().zip(counts).collect()
     }
 
     /// Checks the structural invariants of a clustering against its graph:

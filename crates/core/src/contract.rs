@@ -15,8 +15,6 @@
 //! executable documentation of the paper and for consumers who want the
 //! physically smaller graph (e.g. to ship it to another machine).
 
-use std::collections::HashMap;
-
 use cldiam_graph::{Graph, GraphBuilder, NodeId};
 
 use crate::state::{GrowState, NO_CENTER};
@@ -49,16 +47,19 @@ pub fn contract(graph: &Graph, state: &GrowState) -> ContractedGraph {
     let n = graph.num_nodes();
     assert_eq!(state.len(), n, "state does not match the graph");
 
-    // Surviving nodes: centers and uncovered nodes, in increasing original id.
-    let mut orig: Vec<NodeId> = (0..n as NodeId)
+    // Surviving nodes: centers and uncovered nodes, in increasing original id
+    // (the filter scans ids in order, so `orig` is born sorted).
+    let orig: Vec<NodeId> = (0..n as NodeId)
         .filter(|&u| {
             let c = state.center[u as usize];
             c == NO_CENTER || c == u
         })
         .collect();
-    orig.sort_unstable();
-    let new_id: HashMap<NodeId, NodeId> =
-        orig.iter().enumerate().map(|(i, &u)| (u, i as NodeId)).collect();
+    // Node ids are dense: the original → contracted id map is a Vec lookup.
+    let mut new_id: Vec<NodeId> = vec![NodeId::MAX; n];
+    for (i, &u) in orig.iter().enumerate() {
+        new_id[u as usize] = i as NodeId;
+    }
     let is_center: Vec<bool> = orig.iter().map(|&u| state.center[u as usize] == u).collect();
 
     let mut builder = GraphBuilder::new(orig.len());
@@ -67,13 +68,13 @@ pub fn contract(graph: &Graph, state: &GrowState) -> ContractedGraph {
         let cv = state.center[v as usize];
         match (cu, cv) {
             (NO_CENTER, NO_CENTER) => {
-                builder.add_edge(new_id[&u], new_id[&v], w);
+                builder.add_edge(new_id[u as usize], new_id[v as usize], w);
             }
             (NO_CENTER, _) => {
-                builder.add_edge(new_id[&u], new_id[&cv], w);
+                builder.add_edge(new_id[u as usize], new_id[cv as usize], w);
             }
             (_, NO_CENTER) => {
-                builder.add_edge(new_id[&cu], new_id[&v], w);
+                builder.add_edge(new_id[cu as usize], new_id[v as usize], w);
             }
             // Both endpoints covered: the edge disappears.
             _ => {}
@@ -85,9 +86,14 @@ pub fn contract(graph: &Graph, state: &GrowState) -> ContractedGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growing::partial_growth;
+    use crate::growing::{partial_growth, GrowScratch};
     use cldiam_gen::{mesh, road_network, WeightModel};
     use cldiam_graph::Dist;
+
+    fn grow(graph: &Graph, threshold: i64, light_limit: Dist, state: &mut GrowState) {
+        let mut scratch = GrowScratch::new();
+        partial_growth(graph, threshold, light_limit, state, None, None, None, &mut scratch);
+    }
 
     /// Grows clusters from `centers` with threshold Δ, and checks that growing
     /// on the physically contracted graph produces the same effective
@@ -99,7 +105,7 @@ mod tests {
         for &c in centers {
             state.set_center(c);
         }
-        partial_growth(graph, delta as i64, delta, &mut state, None, None, None);
+        grow(graph, delta as i64, delta, &mut state);
         let contracted = contract(graph, &state);
 
         // Logical second stage on the original graph: freeze, reset credits.
@@ -110,7 +116,7 @@ mod tests {
                 logical.set_source(u as NodeId, 0);
             }
         }
-        partial_growth(graph, delta as i64, delta, &mut logical, None, None, None);
+        grow(graph, delta as i64, delta, &mut logical);
 
         // Physical second stage on the contracted graph: centers restart at 0.
         let mut physical = GrowState::new(contracted.graph.num_nodes());
@@ -119,7 +125,7 @@ mod tests {
                 physical.set_center(i as NodeId);
             }
         }
-        partial_growth(&contracted.graph, delta as i64, delta, &mut physical, None, None, None);
+        grow(&contracted.graph, delta as i64, delta, &mut physical);
 
         // Every surviving uncovered node must have the same effective distance
         // in both executions.
@@ -140,7 +146,7 @@ mod tests {
         let g = cldiam_gen::weighted_path(&[1, 1, 10, 1]);
         let mut state = GrowState::new(5);
         state.set_center(0);
-        partial_growth(&g, 3, 3, &mut state, None, None, None);
+        grow(&g, 3, 3, &mut state);
         // Nodes 0,1,2 covered by cluster 0 (the weight-10 edge is heavy);
         // nodes 3,4 uncovered.
         let c = contract(&g, &state);
@@ -161,7 +167,7 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1, 1), (0, 2, 1), (1, 3, 9), (2, 3, 4)]);
         let mut state = GrowState::new(4);
         state.set_center(0);
-        partial_growth(&g, 2, 2, &mut state, None, None, None);
+        grow(&g, 2, 2, &mut state);
         let c = contract(&g, &state);
         assert_eq!(c.orig, vec![0, 3]);
         assert_eq!(c.graph.edge_weight(0, 1), Some(4));

@@ -11,14 +11,39 @@
 //!
 //! `PartialGrowth` repeats Δ-growing steps until no state changes or until a
 //! caller-provided coverage goal is reached (half of the uncovered nodes for
-//! `CLUSTER`); `PartialGrowth2` is the same procedure without the coverage
-//! goal. The optional step cap implements the `O(n/τ)` limit of §4.1.
+//! `CLUSTER`); [`partial_growth2`] is the same procedure without the coverage
+//! goal, as used by `CLUSTER2`. The optional step cap implements the `O(n/τ)`
+//! limit of §4.1.
+//!
+//! # The in-place hot path
+//!
+//! Earlier revisions materialized every wave as a `Vec` of proposal tuples
+//! (the MapReduce shuffle, executed literally in shared memory) and applied
+//! it in a second pass. The fast path now relaxes edges *in place*: each
+//! admissible relaxation is CAS-applied against the target's cell in
+//! [`AtomicGrowCells`], which converges to the same deterministic winner the
+//! literal MR reducer picks (see `atomic_state.rs` for the protocol), and a
+//! reusable [`GrowScratch`] carries the frontier double-buffer, the pre-wave
+//! frontier snapshot and the touched-bitmap across waves. A full
+//! decomposition therefore performs O(1) amortized heap allocations per wave
+//! instead of O(frontier + proposals).
+//!
+//! The cost model is charged exactly as before — one round per wave, one
+//! message per relaxation proposal, one node update per node whose state
+//! changed. `StepStats::updates` counts *nodes whose state changed in the
+//! wave* (the quantity the MR reducer charges as node updates); the
+//! equivalence proptests pin the in-place path, the materializing reference
+//! ([`delta_growing_step_materialized`]) and the literal MR execution
+//! (`mr_impl`) to identical states *and* identical counters.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
 use cldiam_graph::{Dist, Graph, NodeId};
 
+use crate::atomic_state::{AtomicGrowCells, Proposed};
 use crate::state::{GrowState, NO_CENTER};
 
 /// Counters produced by a single Δ-growing step.
@@ -26,7 +51,7 @@ use crate::state::{GrowState, NO_CENTER};
 pub struct StepStats {
     /// Relaxation proposals generated (messages in the MR cost model).
     pub proposals: u64,
-    /// State updates applied (node updates in the MR cost model).
+    /// Nodes whose state changed (node updates in the MR cost model).
     pub updates: u64,
 }
 
@@ -44,6 +69,138 @@ pub struct GrowthOutcome {
     pub reached_unfrozen: usize,
 }
 
+/// Per-wave tallies reduced over the frontier scan.
+#[derive(Clone, Copy, Debug, Default)]
+struct WaveTally {
+    proposals: u64,
+    newly_reached: u64,
+}
+
+impl WaveTally {
+    fn merge(a: WaveTally, b: WaveTally) -> WaveTally {
+        WaveTally {
+            proposals: a.proposals + b.proposals,
+            newly_reached: a.newly_reached + b.newly_reached,
+        }
+    }
+}
+
+/// Reusable buffers for the in-place Δ-growing hot path.
+///
+/// One `GrowScratch` serves an entire decomposition: `CLUSTER` / `CLUSTER2`
+/// allocate it once and thread it through every `PartialGrowth` invocation,
+/// so waves reuse the frontier double-buffer, the pre-wave snapshot, the
+/// touched-bitmap and the atomic cells instead of allocating per wave.
+#[derive(Debug, Default)]
+pub struct GrowScratch {
+    /// The atomic mirror of the grow state, loaded once per growth.
+    cells: AtomicGrowCells,
+    /// Per-node "already collected into the next frontier this wave" marks.
+    touched: Vec<AtomicBool>,
+    /// Collection buffer for the next frontier (filled through `slot_len`).
+    slots: Vec<AtomicU32>,
+    /// Number of valid entries in `slots` for the current wave.
+    slot_len: AtomicUsize,
+    /// Current wave's frontier (always sorted ascending between waves).
+    frontier: Vec<NodeId>,
+    /// Updated nodes of the last executed wave (sorted ascending).
+    next: Vec<NodeId>,
+    /// Pre-wave `(eff, center, true_dist)` snapshot of the frontier, so that
+    /// every proposal of a wave reads the state the wave started from even
+    /// while targets are being updated concurrently.
+    snap: Vec<(i64, NodeId, Dist)>,
+}
+
+impl GrowScratch {
+    /// Fresh scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for graphs with `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.ensure(n);
+        scratch
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.touched.len() != n {
+            self.touched = (0..n).map(|_| AtomicBool::new(false)).collect();
+            self.slots = (0..n).map(|_| AtomicU32::new(0)).collect();
+        }
+    }
+
+    /// Executes one wave from `self.frontier`, leaving the sorted updated
+    /// nodes in `self.next`. Returns the step counters and how many
+    /// previously-unreached nodes were assigned for the first time.
+    fn wave(&mut self, graph: &Graph, threshold: i64, light_limit: Dist) -> (StepStats, u64) {
+        // Snapshot the frontier's pre-wave state: proposals must be computed
+        // from the state the wave started with, exactly like the two-phase
+        // formulation, even though targets are updated concurrently.
+        let (snap, frontier, cells) = (&mut self.snap, &self.frontier, &self.cells);
+        snap.clear();
+        snap.extend(frontier.iter().map(|&u| cells.read(u as usize)));
+
+        let touched = &self.touched;
+        let slots = &self.slots;
+        let slot_len = &self.slot_len;
+        let snap = &self.snap;
+
+        let tally = (0..frontier.len())
+            .into_par_iter()
+            .with_min_len(32)
+            .map(|i| {
+                let mut tally = WaveTally::default();
+                let (eff_u, center_u, true_u) = snap[i];
+                if eff_u >= threshold || center_u == NO_CENTER {
+                    return tally;
+                }
+                let u = frontier[i];
+                let src_plus = u + 1;
+                let (targets, weights) = graph.neighbor_slices(u);
+                for (&v, &w) in targets.iter().zip(weights) {
+                    let wd = Dist::from(w);
+                    if wd > light_limit || cells.is_frozen(v as usize) {
+                        continue;
+                    }
+                    let cand = eff_u.saturating_add(wd as i64);
+                    if cand > threshold {
+                        continue;
+                    }
+                    tally.proposals += 1;
+                    let true_v = true_u.saturating_add(wd);
+                    if let Proposed::Improved { newly_reached } =
+                        cells.propose(v as usize, cand, center_u, src_plus, true_v)
+                    {
+                        if newly_reached {
+                            tally.newly_reached += 1;
+                        }
+                        if !touched[v as usize].swap(true, Ordering::Relaxed) {
+                            let slot = slot_len.fetch_add(1, Ordering::Relaxed);
+                            slots[slot].store(v, Ordering::Relaxed);
+                        }
+                    }
+                }
+                tally
+            })
+            .reduce(WaveTally::default, WaveTally::merge);
+
+        // Collect the wave's updated nodes in ascending order (the canonical
+        // frontier order every tie-break above relies on), then reset the
+        // per-wave marks — O(updated), never O(n).
+        let updated = self.slot_len.swap(0, Ordering::Relaxed);
+        self.next.clear();
+        self.next.extend(self.slots[..updated].iter().map(|slot| slot.load(Ordering::Relaxed)));
+        self.next.sort_unstable();
+        for &v in &self.next {
+            self.touched[v as usize].store(false, Ordering::Relaxed);
+            self.cells.settle(v as usize);
+        }
+        (StepStats { proposals: tally.proposals, updates: updated as u64 }, tally.newly_reached)
+    }
+}
+
 /// Executes one Δ-growing step from `frontier`.
 ///
 /// * `threshold` — the growth threshold `Δ` (signed: `CLUSTER2` sources carry
@@ -52,7 +209,48 @@ pub struct GrowthOutcome {
 ///
 /// Returns the nodes whose state changed (the next frontier) and the step
 /// counters. Frozen nodes are never updated; they only act as sources.
+///
+/// `frontier` must be sorted ascending (the order every frontier in this
+/// workspace is produced in: initial frontiers scan node ids upward and each
+/// step returns its updated set sorted). The deterministic `true_dist`
+/// tie-break — first proposal in frontier order among equal `(eff, center)`
+/// keys, the MR reducer's rule — is realized in place as smallest-source-id,
+/// which coincides with frontier order only when the frontier is sorted; on
+/// an unsorted frontier this function and
+/// [`delta_growing_step_materialized`] could legitimately disagree on the
+/// payload of a tied target.
+///
+/// This entry point loads and stores the full state around a single wave; a
+/// multi-wave growth should go through [`partial_growth`], which keeps the
+/// state resident in the scratch's atomic cells across waves.
 pub fn delta_growing_step(
+    graph: &Graph,
+    threshold: i64,
+    light_limit: Dist,
+    state: &mut GrowState,
+    frontier: &[NodeId],
+    scratch: &mut GrowScratch,
+) -> (Vec<NodeId>, StepStats) {
+    debug_assert!(
+        frontier.windows(2).all(|pair| pair[0] <= pair[1]),
+        "delta_growing_step requires a sorted frontier"
+    );
+    scratch.ensure(state.len());
+    scratch.cells.load_from(state);
+    scratch.frontier.clear();
+    scratch.frontier.extend_from_slice(frontier);
+    let (stats, _) = scratch.wave(graph, threshold, light_limit);
+    scratch.cells.store_into(state);
+    (scratch.next.clone(), stats)
+}
+
+/// The materializing (two-phase) Δ-growing step kept as an executable
+/// reference: generate every relaxation proposal into a `Vec`, then reduce
+/// per target. This is the literal shared-memory transcription of the MR
+/// round and is bit-for-bit equivalent to [`delta_growing_step`] — the
+/// equivalence proptests and the `growing_hotpath` benchmark compare the two.
+/// Production code must use the in-place fast path.
+pub fn delta_growing_step_materialized(
     graph: &Graph,
     threshold: i64,
     light_limit: Dist,
@@ -61,9 +259,6 @@ pub fn delta_growing_step(
 ) -> (Vec<NodeId>, StepStats) {
     // Generate proposals in parallel. Each proposal is (target, eff, center,
     // true distance). The frontier only contains reached nodes.
-    // Small frontiers run as a single chunk (min-len hint): Δ-growing waves
-    // on sparse stages are frequent and tiny, and chunk-ordered recombination
-    // keeps the proposal list identical either way.
     let proposals: Vec<(NodeId, i64, NodeId, Dist)> = frontier
         .par_iter()
         .with_min_len(32)
@@ -102,11 +297,11 @@ pub fn delta_growing_step(
             state.eff[vi] = eff;
             state.center[vi] = center;
             state.true_dist[vi] = true_d;
-            stats.updates += 1;
         }
     }
     updated.sort_unstable();
     updated.dedup();
+    stats.updates = updated.len() as u64;
     (updated, stats)
 }
 
@@ -116,7 +311,10 @@ pub fn delta_growing_step(
 /// `tracker`, with its proposals as messages and its updates as node updates.
 ///
 /// The initial frontier is every node with a finite effective distance below
-/// the threshold (centers and, in `CLUSTER2`, rescaled covered sources).
+/// the threshold (centers and, in `CLUSTER2`, rescaled covered sources). The
+/// state is loaded into `scratch`'s atomic cells once, every wave relaxes in
+/// place, and the result is stored back once at the end.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list plus the threaded scratch
 pub fn partial_growth(
     graph: &Graph,
     threshold: i64,
@@ -125,56 +323,72 @@ pub fn partial_growth(
     stop_at_reached: Option<usize>,
     max_steps: Option<usize>,
     tracker: Option<&CostTracker>,
+    scratch: &mut GrowScratch,
 ) -> GrowthOutcome {
     let mut outcome = GrowthOutcome::default();
 
-    // Initial frontier: every potential source.
-    let mut frontier: Vec<NodeId> = (0..state.len() as NodeId)
-        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
-        .collect();
-
-    // Unfrozen nodes already reached (eff ≤ threshold ⇒ reached).
-    let mut reached =
-        (0..state.len()).filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER).count();
+    // Unfrozen nodes already reached (eff ≤ threshold ⇒ reached); kept
+    // incrementally below — a node's first assignment is a unique event, so
+    // the count stays exact without O(n) recounts between waves.
+    let mut reached = state.count_reached_unfrozen();
     outcome.reached_unfrozen = reached;
-
     if stop_at_reached.is_some_and(|target| reached >= target) {
         return outcome;
     }
 
-    while !frontier.is_empty() {
+    // Initial frontier: every potential source, in ascending node order.
+    scratch.ensure(state.len());
+    scratch.frontier.clear();
+    scratch.frontier.extend(
+        (0..state.len() as NodeId).filter(|&u| {
+            state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER
+        }),
+    );
+    if scratch.frontier.is_empty() {
+        return outcome;
+    }
+    scratch.cells.load_from(state);
+
+    loop {
         if max_steps.is_some_and(|cap| outcome.steps as usize >= cap) {
             break;
         }
-        let (updated, stats) = delta_growing_step(graph, threshold, light_limit, state, &frontier);
+        let (stats, newly_reached) = scratch.wave(graph, threshold, light_limit);
         outcome.steps += 1;
         outcome.proposals += stats.proposals;
         outcome.updates += stats.updates;
+        reached += newly_reached as usize;
         if let Some(t) = tracker {
             t.add_round();
             t.add_messages(stats.proposals);
             t.add_node_updates(stats.updates);
         }
-        if updated.is_empty() {
+        if scratch.next.is_empty() {
             break;
         }
-        if stop_at_reached.is_some() {
-            // Re-count reached unfrozen nodes only when an early-stop target is
-            // set (once reached, a node stays reached, so the count is
-            // monotone).
-            reached = (0..state.len())
-                .filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER)
-                .count();
-            outcome.reached_unfrozen = reached;
-            if stop_at_reached.is_some_and(|target| reached >= target) {
-                break;
-            }
+        if stop_at_reached.is_some_and(|target| reached >= target) {
+            break;
         }
-        frontier = updated;
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
     }
-    outcome.reached_unfrozen =
-        (0..state.len()).filter(|&u| !state.frozen[u] && state.center[u] != NO_CENTER).count();
+    scratch.cells.store_into(state);
+    outcome.reached_unfrozen = reached;
     outcome
+}
+
+/// `PartialGrowth2`: repeats Δ-growing steps until no state is updated (or a
+/// step cap fires), with no coverage goal — the growth procedure of
+/// `CLUSTER2`.
+pub fn partial_growth2(
+    graph: &Graph,
+    threshold: i64,
+    light_limit: Dist,
+    state: &mut GrowState,
+    max_steps: Option<usize>,
+    tracker: Option<&CostTracker>,
+    scratch: &mut GrowScratch,
+) -> GrowthOutcome {
+    partial_growth(graph, threshold, light_limit, state, None, max_steps, tracker, scratch)
 }
 
 #[cfg(test)]
@@ -189,13 +403,46 @@ mod tests {
         s
     }
 
+    fn grow(
+        graph: &Graph,
+        threshold: i64,
+        light_limit: Dist,
+        state: &mut GrowState,
+        stop_at_reached: Option<usize>,
+        max_steps: Option<usize>,
+        tracker: Option<&CostTracker>,
+    ) -> GrowthOutcome {
+        let mut scratch = GrowScratch::new();
+        partial_growth(
+            graph,
+            threshold,
+            light_limit,
+            state,
+            stop_at_reached,
+            max_steps,
+            tracker,
+            &mut scratch,
+        )
+    }
+
+    fn step(
+        graph: &Graph,
+        threshold: i64,
+        light_limit: Dist,
+        state: &mut GrowState,
+        frontier: &[NodeId],
+    ) -> (Vec<NodeId>, StepStats) {
+        let mut scratch = GrowScratch::new();
+        delta_growing_step(graph, threshold, light_limit, state, frontier, &mut scratch)
+    }
+
     #[test]
     fn growing_step_respects_threshold_and_light_edges() {
         // Path 0 -1- 1 -5- 2 -1- 3 with Δ = 3: the weight-5 edge is heavy and
         // must not be traversed.
         let g = weighted_path(&[1, 5, 1]);
         let mut s = init_state_with_center(4, 0);
-        let (updated, stats) = delta_growing_step(&g, 3, 3, &mut s, &[0]);
+        let (updated, stats) = step(&g, 3, 3, &mut s, &[0]);
         assert_eq!(updated, vec![1]);
         assert_eq!(stats.updates, 1);
         assert_eq!(s.center[1], 0);
@@ -208,9 +455,9 @@ mod tests {
         // Edges all light (weight 2) but Δ = 3 allows only one hop.
         let g = weighted_path(&[2, 2, 2]);
         let mut s = init_state_with_center(4, 0);
-        let (updated, _) = delta_growing_step(&g, 3, 3, &mut s, &[0]);
+        let (updated, _) = step(&g, 3, 3, &mut s, &[0]);
         assert_eq!(updated, vec![1]);
-        let (updated2, _) = delta_growing_step(&g, 3, 3, &mut s, &updated);
+        let (updated2, _) = step(&g, 3, 3, &mut s, &updated);
         // 0 -> 1 costs 2; 1 -> 2 would cost 4 > 3: no growth.
         assert!(updated2.is_empty());
     }
@@ -222,7 +469,7 @@ mod tests {
         let mut s = GrowState::new(3);
         s.set_center(0);
         s.set_center(2);
-        let (_, _) = delta_growing_step(&g, 10, 10, &mut s, &[0, 2]);
+        let (_, _) = step(&g, 10, 10, &mut s, &[0, 2]);
         assert_eq!(s.center[1], 2);
         assert_eq!(s.eff[1], 2);
 
@@ -231,7 +478,7 @@ mod tests {
         let mut s2 = GrowState::new(3);
         s2.set_center(0);
         s2.set_center(2);
-        let (_, _) = delta_growing_step(&g2, 10, 10, &mut s2, &[0, 2]);
+        let (_, _) = step(&g2, 10, 10, &mut s2, &[0, 2]);
         assert_eq!(s2.center[1], 0);
     }
 
@@ -247,7 +494,7 @@ mod tests {
         // New stage: node 1 is a frozen source with credit 0; node 0 frozen too.
         s.set_source(0, 0);
         s.set_source(1, 0);
-        let (updated, _) = delta_growing_step(&g, 5, 5, &mut s, &[0, 1]);
+        let (updated, _) = step(&g, 5, 5, &mut s, &[0, 1]);
         assert_eq!(updated, vec![2]);
         // Node 2 inherits node 1's cluster (center 0) and accumulates the true
         // distance through it.
@@ -259,10 +506,50 @@ mod tests {
     }
 
     #[test]
+    fn in_place_step_matches_materialized_reference() {
+        let g = cldiam_gen::mesh(6, cldiam_gen::WeightModel::UniformUnit, 11);
+        let mut fast = GrowState::new(g.num_nodes());
+        let mut reference = GrowState::new(g.num_nodes());
+        for &c in &[0, 17, 35] {
+            fast.set_center(c);
+            reference.set_center(c);
+        }
+        let threshold = 3 * i64::from(cldiam_graph::WEIGHT_SCALE);
+        let mut scratch = GrowScratch::new();
+        let mut frontier = vec![0, 17, 35];
+        for _ in 0..16 {
+            let (fast_up, fast_stats) = delta_growing_step(
+                &g,
+                threshold,
+                threshold as Dist,
+                &mut fast,
+                &frontier,
+                &mut scratch,
+            );
+            let (ref_up, ref_stats) = delta_growing_step_materialized(
+                &g,
+                threshold,
+                threshold as Dist,
+                &mut reference,
+                &frontier,
+            );
+            assert_eq!(fast_up, ref_up);
+            assert_eq!(fast_stats, ref_stats);
+            assert_eq!(fast.eff, reference.eff);
+            assert_eq!(fast.center, reference.center);
+            assert_eq!(fast.true_dist, reference.true_dist);
+            if fast_up.is_empty() {
+                break;
+            }
+            frontier = fast_up;
+        }
+    }
+
+    #[test]
     fn partial_growth_runs_to_fixpoint() {
         let g = weighted_path(&[1, 1, 1, 1]);
         let mut s = init_state_with_center(5, 0);
-        let outcome = partial_growth(&g, 10, 10, &mut s, None, None, None);
+        let outcome = grow(&g, 10, 10, &mut s, None, None, None);
         assert_eq!(outcome.reached_unfrozen, 5);
         assert!(outcome.steps >= 4);
         assert_eq!(s.true_dist[4], 4);
@@ -272,7 +559,7 @@ mod tests {
     fn partial_growth_stops_at_coverage_target() {
         let g = weighted_path(&[1, 1, 1, 1, 1, 1, 1, 1]);
         let mut s = init_state_with_center(9, 0);
-        let outcome = partial_growth(&g, 100, 100, &mut s, Some(3), None, None);
+        let outcome = grow(&g, 100, 100, &mut s, Some(3), None, None);
         assert!(outcome.reached_unfrozen >= 3);
         assert!(
             outcome.reached_unfrozen < 9,
@@ -285,7 +572,7 @@ mod tests {
     fn partial_growth_honors_step_cap() {
         let g = weighted_path(&[1; 20]);
         let mut s = init_state_with_center(21, 0);
-        let outcome = partial_growth(&g, 1000, 1000, &mut s, None, Some(3), None);
+        let outcome = grow(&g, 1000, 1000, &mut s, None, Some(3), None);
         assert_eq!(outcome.steps, 3);
         assert_eq!(outcome.reached_unfrozen, 4);
     }
@@ -295,11 +582,38 @@ mod tests {
         let g = weighted_path(&[1, 1, 1]);
         let mut s = init_state_with_center(4, 0);
         let tracker = CostTracker::new();
-        let outcome = partial_growth(&g, 10, 10, &mut s, None, None, Some(&tracker));
+        let outcome = grow(&g, 10, 10, &mut s, None, None, Some(&tracker));
         let snap = tracker.snapshot();
         assert_eq!(snap.rounds, outcome.steps);
         assert_eq!(snap.messages, outcome.proposals);
         assert_eq!(snap.node_updates, outcome.updates);
+    }
+
+    #[test]
+    fn partial_growth2_reaches_the_same_fixpoint() {
+        let g = cldiam_gen::mesh(5, cldiam_gen::WeightModel::UniformUnit, 2);
+        let mut a = init_state_with_center(g.num_nodes(), 0);
+        let mut b = init_state_with_center(g.num_nodes(), 0);
+        let mut scratch = GrowScratch::new();
+        let threshold = i64::MAX - 1;
+        let out_a =
+            partial_growth(&g, threshold, Dist::MAX, &mut a, None, None, None, &mut scratch);
+        let out_b = partial_growth2(&g, threshold, Dist::MAX, &mut b, None, None, &mut scratch);
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.eff, b.eff);
+        assert_eq!(a.center, b.center);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_growths_and_graph_sizes() {
+        let mut scratch = GrowScratch::new();
+        for n in [4usize, 9, 4] {
+            let g = weighted_path(&vec![1; n - 1]);
+            let mut s = init_state_with_center(n, 0);
+            let outcome = partial_growth(&g, 100, 100, &mut s, None, None, None, &mut scratch);
+            assert_eq!(outcome.reached_unfrozen, n);
+            assert_eq!(s.true_dist[n - 1], (n - 1) as Dist);
+        }
     }
 
     #[test]
@@ -308,7 +622,7 @@ mod tests {
         // exact shortest-path distances.
         let g = cldiam_gen::mesh(8, cldiam_gen::WeightModel::UniformUnit, 3);
         let mut s = init_state_with_center(g.num_nodes(), 0);
-        partial_growth(&g, i64::MAX - 1, Dist::MAX, &mut s, None, None, None);
+        grow(&g, i64::MAX - 1, Dist::MAX, &mut s, None, None, None);
         let sp = cldiam_sssp::dijkstra(&g, 0);
         for u in 0..g.num_nodes() {
             assert_eq!(s.true_dist[u], sp.dist[u], "node {u}");

@@ -39,6 +39,7 @@
 //! assert!(estimate.ratio_against(lower) < 2.0);
 //! ```
 
+pub mod atomic_state;
 pub mod cluster;
 pub mod cluster2;
 pub mod clustering;
@@ -55,6 +56,9 @@ pub use cluster2::cluster2;
 pub use clustering::Clustering;
 pub use config::{ClusterConfig, InitialDelta};
 pub use diameter::{approximate_diameter, ClDiam, DiameterEstimate};
-pub use growing::{delta_growing_step, partial_growth, GrowthOutcome, StepStats};
+pub use growing::{
+    delta_growing_step, delta_growing_step_materialized, partial_growth, partial_growth2,
+    GrowScratch, GrowthOutcome, StepStats,
+};
 pub use quotient::{quotient_graph, QuotientGraph};
 pub use state::{GrowState, EFF_INFINITY, NO_CENTER};

@@ -37,8 +37,10 @@ impl Proposal {
 /// Executes one Δ-growing step as a MapReduce round on `engine`.
 ///
 /// Returns the nodes whose state changed. The engine charges one round, the
-/// proposals as messages and the applied updates as node updates, exactly like
-/// the shared-memory implementation.
+/// proposals as messages and the nodes whose state changed as node updates —
+/// the exact counters the in-place shared-memory implementation reports in
+/// its `StepStats`; the equivalence proptests pin the two executions to
+/// identical states *and* identical charges.
 pub fn mr_delta_growing_step(
     engine: &MrEngine,
     graph: &Graph,
@@ -48,7 +50,9 @@ pub fn mr_delta_growing_step(
     frontier: &[NodeId],
 ) -> Vec<NodeId> {
     // Map phase: emit (target, proposal) for every admissible relaxation.
-    let mut pairs: Vec<(NodeId, Proposal)> = Vec::new();
+    // Reserve for the frontier's full degree sum (every light edge can emit).
+    let arc_bound: usize = frontier.iter().map(|&u| graph.degree(u)).sum();
+    let mut pairs: Vec<(NodeId, Proposal)> = Vec::with_capacity(arc_bound);
     for &u in frontier {
         let eff_u = state.eff[u as usize];
         let center_u = state.center[u as usize];
@@ -131,7 +135,7 @@ pub fn mr_partial_growth(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::growing::partial_growth;
+    use crate::growing::{partial_growth, GrowScratch};
     use cldiam_gen::{mesh, road_network, WeightModel};
     use cldiam_mr::MrConfig;
 
@@ -146,7 +150,8 @@ mod tests {
             fast.set_center(c);
             slow.set_center(c);
         }
-        partial_growth(graph, threshold, light_limit, &mut fast, None, None, None);
+        let mut scratch = GrowScratch::new();
+        partial_growth(graph, threshold, light_limit, &mut fast, None, None, None, &mut scratch);
         let engine = engines();
         mr_partial_growth(&engine, graph, threshold, light_limit, &mut slow);
         assert_eq!(fast.eff, slow.eff);

@@ -8,7 +8,7 @@
 //! `Φ_approx(G) = Φ(G_C) + 2·R`, which is never below the true diameter when
 //! the `d_u` are genuine distance upper bounds.
 
-use std::collections::HashMap;
+use rayon::prelude::*;
 
 use cldiam_graph::{Dist, Graph, GraphBuilder, NodeId, Weight};
 
@@ -40,26 +40,47 @@ impl QuotientGraph {
 /// Quotient edge weights are clamped to the maximum representable edge weight
 /// (`u32::MAX`); with the fixed-point scale used in this workspace that limit
 /// is far beyond any benchmark instance.
+///
+/// Node ids are dense, so the center → quotient-node index is a plain `Vec`
+/// lookup instead of a hash map, and the boundary edges are gathered with a
+/// parallel scan over the CSR adjacency (each undirected edge inspected once,
+/// from its smaller endpoint). Parallel quotient edges are collapsed to the
+/// lightest by the builder's parallel edge sort — no hash grouping anywhere
+/// on this path.
 pub fn quotient_graph(graph: &Graph, clustering: &Clustering) -> QuotientGraph {
     let centers = clustering.centers.clone();
-    let index_of: HashMap<NodeId, NodeId> =
-        centers.iter().enumerate().map(|(i, &c)| (c, i as NodeId)).collect();
-
-    let mut builder = GraphBuilder::new(centers.len());
-    let mut boundary_edges = 0usize;
-    for (u, v, w) in graph.edges() {
-        let cu = clustering.assignment[u as usize];
-        let cv = clustering.assignment[v as usize];
-        if cu == cv {
-            continue;
-        }
-        boundary_edges += 1;
-        let weight = Dist::from(w)
-            .saturating_add(clustering.dist[u as usize])
-            .saturating_add(clustering.dist[v as usize]);
-        let clamped: Weight = weight.min(Dist::from(Weight::MAX)) as Weight;
-        builder.add_edge(index_of[&cu], index_of[&cv], clamped.max(1));
+    let mut quotient_id: Vec<NodeId> = vec![NodeId::MAX; graph.num_nodes()];
+    for (i, &c) in centers.iter().enumerate() {
+        quotient_id[c as usize] = i as NodeId;
     }
+
+    let assignment = &clustering.assignment;
+    let dist = &clustering.dist;
+    let quotient_id = &quotient_id;
+    let boundary: Vec<(NodeId, NodeId, Weight)> = (0..graph.num_nodes() as NodeId)
+        .into_par_iter()
+        .with_min_len(256)
+        .flat_map_iter(move |u| {
+            graph.neighbors(u).filter_map(move |(v, w)| {
+                if u >= v {
+                    return None;
+                }
+                let cu = assignment[u as usize];
+                let cv = assignment[v as usize];
+                if cu == cv {
+                    return None;
+                }
+                let weight =
+                    Dist::from(w).saturating_add(dist[u as usize]).saturating_add(dist[v as usize]);
+                let clamped: Weight = weight.min(Dist::from(Weight::MAX)) as Weight;
+                Some((quotient_id[cu as usize], quotient_id[cv as usize], clamped.max(1)))
+            })
+        })
+        .collect();
+    let boundary_edges = boundary.len();
+
+    let mut builder = GraphBuilder::with_capacity(centers.len(), boundary_edges);
+    builder.extend_edges(boundary);
     QuotientGraph { graph: builder.build(), cluster_centers: centers, boundary_edges }
 }
 

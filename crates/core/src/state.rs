@@ -21,6 +21,11 @@
 //! a contracted graph at every stage produces the same growth trajectories
 //! (see `contract.rs` for the explicit procedure and the equivalence tests)
 //! while avoiding repeated CSR reconstruction.
+//!
+//! `GrowState` itself is the plain, single-owner view of the state. During a
+//! growth the hot path mirrors it into the per-node atomic cells of
+//! [`crate::atomic_state::AtomicGrowCells`], relaxes edges in place, and
+//! writes the result back — see `growing.rs`.
 
 use cldiam_graph::{Dist, NodeId};
 
@@ -85,6 +90,14 @@ impl GrowState {
     /// definitively).
     pub fn is_reached(&self, u: NodeId) -> bool {
         self.center[u as usize] != NO_CENTER
+    }
+
+    /// Number of *unfrozen* nodes currently reached by some cluster — the
+    /// coverage quantity `PartialGrowth` stops on. The growing hot path keeps
+    /// this count incrementally (a node's first assignment is a unique event);
+    /// this method is the from-scratch definition it must agree with.
+    pub fn count_reached_unfrozen(&self) -> usize {
+        (0..self.len()).filter(|&u| !self.frozen[u] && self.center[u] != NO_CENTER).count()
     }
 
     /// Resets the per-stage quantities of every *unfrozen* node, keeping

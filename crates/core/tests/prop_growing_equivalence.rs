@@ -1,0 +1,217 @@
+//! Property-based equivalence of the three Δ-growing step implementations.
+//!
+//! The acceptance bar for the in-place hot path: on random weighted graphs,
+//! the allocation-free in-place step ([`cldiam_core::delta_growing_step`]),
+//! the materializing two-phase reference
+//! ([`cldiam_core::delta_growing_step_materialized`]) and the literal
+//! MapReduce execution ([`cldiam_core::mr_impl::mr_delta_growing_step`])
+//! must produce identical `GrowState`s, identical per-wave updated sets and
+//! identical `StepStats` counters — including the MR engine's message /
+//! node-update charges — wave by wave until fixpoint, on thread pools of
+//! 1, 2 and 8 workers.
+//!
+//! The scenario also exercises the frozen-source path: after a first growth
+//! phase, reached nodes are frozen and re-seeded as sources with a (possibly
+//! negative, `CLUSTER2`-style) credit before the phase under test runs.
+
+use proptest::prelude::*;
+
+use cldiam_core::mr_impl::mr_delta_growing_step;
+use cldiam_core::{
+    delta_growing_step, delta_growing_step_materialized, GrowScratch, GrowState, NO_CENTER,
+};
+use cldiam_graph::{Dist, Graph, GraphBuilder, NodeId};
+use cldiam_mr::{MrConfig, MrEngine};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+const MAX_WAVES: usize = 64;
+
+/// A connected random weighted graph with 2..=16 nodes (spanning path plus
+/// random extra edges), the same recipe as the workspace-level invariants
+/// suite but smaller: each case runs six growths to fixpoint on three pools.
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=16).prop_flat_map(|n| {
+        let path_weights = proptest::collection::vec(1u32..=20, n - 1);
+        let extra_edges =
+            proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..=20), 0..(2 * n));
+        (path_weights, extra_edges).prop_map(move |(pw, extra)| {
+            let mut builder = GraphBuilder::new(n);
+            for (i, w) in pw.iter().enumerate() {
+                builder.add_edge(i as u32, (i + 1) as u32, *w);
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    builder.add_edge(u, v, w);
+                }
+            }
+            builder.build()
+        })
+    })
+}
+
+/// Everything a wave-by-wave growth produces: the per-wave updated sets with
+/// their counters, and the final state vectors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Trace {
+    waves: Vec<(Vec<NodeId>, u64, u64)>,
+    eff: Vec<i64>,
+    center: Vec<NodeId>,
+    true_dist: Vec<Dist>,
+}
+
+/// Builds the initial state: centers from `center_sel`, plus an optional
+/// frozen first phase whose survivors become sources with `credit`.
+fn init_state(
+    graph: &Graph,
+    center_sel: &[usize],
+    prefreeze: bool,
+    credit: i64,
+    threshold: i64,
+) -> GrowState {
+    let n = graph.num_nodes();
+    let mut state = GrowState::new(n);
+    let mut centers: Vec<NodeId> = center_sel.iter().map(|&c| (c % n) as NodeId).collect();
+    centers.sort_unstable();
+    centers.dedup();
+    for &c in &centers {
+        state.set_center(c);
+    }
+    if prefreeze {
+        // Deterministic phase 0 with the materializing reference: grow a
+        // little, freeze what was reached, re-seed as credited sources.
+        let mut frontier = centers.clone();
+        for _ in 0..2 {
+            let (updated, _) = delta_growing_step_materialized(
+                graph,
+                threshold / 2,
+                (threshold / 2).max(1) as Dist,
+                &mut state,
+                &frontier,
+            );
+            if updated.is_empty() {
+                break;
+            }
+            frontier = updated;
+        }
+        state.freeze_reached();
+        for u in 0..n {
+            if state.frozen[u] {
+                state.set_source(u as NodeId, credit);
+            }
+        }
+    }
+    state
+}
+
+fn initial_frontier(state: &GrowState, threshold: i64) -> Vec<NodeId> {
+    (0..state.len() as NodeId)
+        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .collect()
+}
+
+fn run_in_place(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+    let mut state = init.clone();
+    let mut scratch = GrowScratch::new();
+    let mut frontier = initial_frontier(&state, threshold);
+    let mut waves = Vec::new();
+    for _ in 0..MAX_WAVES {
+        if frontier.is_empty() {
+            break;
+        }
+        let (updated, stats) =
+            delta_growing_step(graph, threshold, light_limit, &mut state, &frontier, &mut scratch);
+        waves.push((updated.clone(), stats.proposals, stats.updates));
+        frontier = updated;
+    }
+    Trace { waves, eff: state.eff, center: state.center, true_dist: state.true_dist }
+}
+
+fn run_materialized(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+    let mut state = init.clone();
+    let mut frontier = initial_frontier(&state, threshold);
+    let mut waves = Vec::new();
+    for _ in 0..MAX_WAVES {
+        if frontier.is_empty() {
+            break;
+        }
+        let (updated, stats) =
+            delta_growing_step_materialized(graph, threshold, light_limit, &mut state, &frontier);
+        waves.push((updated.clone(), stats.proposals, stats.updates));
+        frontier = updated;
+    }
+    Trace { waves, eff: state.eff, center: state.center, true_dist: state.true_dist }
+}
+
+fn run_mapreduce(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+    let mut state = init.clone();
+    let engine = MrEngine::new(MrConfig::with_machines(4));
+    let mut frontier = initial_frontier(&state, threshold);
+    let mut waves = Vec::new();
+    for _ in 0..MAX_WAVES {
+        if frontier.is_empty() {
+            break;
+        }
+        let before = engine.metrics();
+        let updated =
+            mr_delta_growing_step(&engine, graph, threshold, light_limit, &mut state, &frontier);
+        let after = engine.metrics();
+        waves.push((
+            updated.clone(),
+            after.messages - before.messages,
+            after.node_updates - before.node_updates,
+        ));
+        frontier = updated;
+    }
+    Trace { waves, eff: state.eff, center: state.center, true_dist: state.true_dist }
+}
+
+fn with_pool<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(op)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn three_growing_step_implementations_are_bit_identical(
+        graph in arbitrary_graph(),
+        center_sel in proptest::collection::vec(0usize..16, 1..4),
+        threshold_raw in 5u64..120,
+        prefreeze_raw in 0u32..2,
+        credit_raw in 0u64..=15,
+    ) {
+        let threshold = threshold_raw as i64;
+        let prefreeze = prefreeze_raw == 1;
+        let credit = -(credit_raw as i64);
+        let light_limit = threshold as Dist;
+        let init = init_state(&graph, &center_sel, prefreeze, credit, threshold);
+
+        let reference = with_pool(THREAD_COUNTS[0], || {
+            (
+                run_in_place(&graph, threshold, light_limit, &init),
+                run_materialized(&graph, threshold, light_limit, &init),
+                run_mapreduce(&graph, threshold, light_limit, &init),
+            )
+        });
+        let (in_place, materialized, mapreduce) = &reference;
+
+        // The three implementations agree wave-by-wave: same updated sets,
+        // same proposal counts (MR messages), same update counts (MR node
+        // updates), same final state.
+        prop_assert_eq!(in_place, materialized);
+        prop_assert_eq!(in_place, mapreduce);
+
+        // And the in-place path is scheduling-independent: identical traces
+        // on wider pools.
+        for &threads in &THREAD_COUNTS[1..] {
+            let wide = with_pool(threads, || {
+                (
+                    run_in_place(&graph, threshold, light_limit, &init),
+                    run_materialized(&graph, threshold, light_limit, &init),
+                    run_mapreduce(&graph, threshold, light_limit, &init),
+                )
+            });
+            prop_assert_eq!(&wide, &reference, "diverged at {} threads", threads);
+        }
+    }
+}

@@ -120,8 +120,11 @@ impl MrEngine {
         let machines = self.config.num_machines.max(1);
         let input_items = pairs.len();
 
-        // Shuffle: hash-partition pairs to machines.
-        let mut buckets: Vec<Vec<(K, V)>> = (0..machines).map(|_| Vec::new()).collect();
+        // Shuffle: hash-partition pairs to machines. Buckets are pre-sized to
+        // the balanced share so large rounds do not regrow them repeatedly.
+        let per_machine = input_items / machines + 1;
+        let mut buckets: Vec<Vec<(K, V)>> =
+            (0..machines).map(|_| Vec::with_capacity(per_machine)).collect();
         for (k, v) in pairs {
             let mut hasher = DefaultHasher::new();
             k.hash(&mut hasher);
@@ -139,14 +142,16 @@ impl MrEngine {
                     // Fixed-seed hasher: group iteration order (and therefore
                     // the order of the round's output pairs) is a pure
                     // function of the input, not of a per-process random
-                    // state.
+                    // state. Sized to the machine's item count up front (an
+                    // upper bound on its distinct keys) so grouping a large
+                    // round never rehashes.
                     let mut groups: HashMap<K, Vec<V>, BuildHasherDefault<DefaultHasher>> =
-                        HashMap::default();
+                        HashMap::with_capacity_and_hasher(items, BuildHasherDefault::default());
                     for (k, v) in bucket {
                         groups.entry(k).or_default().push(v);
                     }
                     let keys = groups.len();
-                    let mut out = Vec::new();
+                    let mut out = Vec::with_capacity(keys);
                     for (k, vs) in groups {
                         out.extend(reducer(&k, vs));
                     }
@@ -156,7 +161,7 @@ impl MrEngine {
         });
 
         let mut machine_loads = Vec::with_capacity(machines);
-        let mut output = Vec::new();
+        let mut output = Vec::with_capacity(results.iter().map(|(_, out)| out.len()).sum());
         let mut peak = 0usize;
         for (load, out) in results {
             peak = peak.max(load.items);

@@ -117,7 +117,7 @@ fn decomposition_reuse_is_consistent_with_full_run() {
 
 #[test]
 fn mapreduce_growth_matches_shared_memory_growth() {
-    use cldiam_core::{mr_impl::mr_partial_growth, partial_growth, GrowState};
+    use cldiam_core::{mr_impl::mr_partial_growth, partial_growth, GrowScratch, GrowState};
 
     let graph = GraphSpec::RoadNetwork { rows: 12, cols: 12 }.generate_connected(6);
     let centers = [0u32, (graph.num_nodes() / 2) as u32, (graph.num_nodes() - 1) as u32];
@@ -129,7 +129,8 @@ fn mapreduce_growth_matches_shared_memory_growth() {
         fast.set_center(c);
         slow.set_center(c);
     }
-    partial_growth(&graph, threshold, threshold as u64, &mut fast, None, None, None);
+    let mut scratch = GrowScratch::new();
+    partial_growth(&graph, threshold, threshold as u64, &mut fast, None, None, None, &mut scratch);
     let engine = MrEngine::new(MrConfig::with_machines(3));
     mr_partial_growth(&engine, &graph, threshold, threshold as u64, &mut slow);
     assert_eq!(fast.eff, slow.eff);
