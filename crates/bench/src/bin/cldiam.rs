@@ -1,0 +1,302 @@
+//! End-to-end diameter approximation of a graph file (or generator spec).
+//!
+//! ```text
+//! cldiam <INPUT> [options]
+//!
+//! INPUT:
+//!   PATH            a graph file: DIMACS .gr, SNAP/TSV edge list, or a
+//!                   binary .cldg snapshot (format auto-detected)
+//!   gen:SPEC        a synthetic workload, e.g. gen:mesh:32, gen:rmat:10,
+//!                   gen:road:40x40, gen:ba:2000:8, gen:gnm:1000:4000,
+//!                   gen:roads:3:20x20
+//!
+//! options:
+//!   --tau N         CLUSTER batch size τ (default: auto from --quotient)
+//!   --quotient N    quotient-size target for the auto τ rule (default 2000)
+//!   --delta D       Δ-stepping bucket width (default: sweep a grid, keep
+//!                   the fewest-rounds configuration)
+//!   --cluster2      decompose with CLUSTER2 (Algorithm 2) instead of CLUSTER
+//!   --algo A        cldiam | delta | both (default both)
+//!   --seed K        RNG seed (default 1)
+//!   --threads N     worker-pool size (default: CLDIAM_THREADS, then hardware)
+//!   --largest-component
+//!                   extract the largest connected component before running
+//!                   (what the paper does with every real-world graph)
+//!   --cache         reuse/write a binary .cldg snapshot next to the input
+//!   --json PATH     write the JSON report rows to PATH ("-" for stdout)
+//!   --no-time       report wall-clock fields as 0 so output is byte-identical
+//!                   across runs and thread counts (used by the CI matrix)
+//! ```
+//!
+//! The program prints the Table 2-style text row and exits non-zero on any
+//! parse error (with the offending line number for text formats).
+
+use std::time::Instant;
+
+use cldiam_bench::report::{render_table, to_json};
+use cldiam_bench::runner::{
+    baseline_source, reference_lower_bound, run_cldiam_with, run_delta_stepping_best,
+    run_delta_stepping_with,
+};
+use cldiam_bench::ResultRow;
+use cldiam_core::ClusterConfig;
+use cldiam_gen::GraphSpec;
+use cldiam_graph::{largest_component, load_graph, load_graph_cached, Graph};
+
+struct Options {
+    input: String,
+    tau: Option<usize>,
+    target_quotient: usize,
+    delta: Option<u32>,
+    cluster2: bool,
+    algo: Algo,
+    seed: u64,
+    threads: Option<usize>,
+    largest_component: bool,
+    cache: bool,
+    json: Option<String>,
+    no_time: bool,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Cldiam,
+    Delta,
+    Both,
+}
+
+const USAGE: &str =
+    "usage: cldiam <PATH | gen:SPEC> [--tau N] [--quotient N] [--delta D] [--cluster2]\n\
+                     \u{20}             [--algo cldiam|delta|both] [--seed K] [--threads N]\n\
+                     \u{20}             [--largest-component] [--cache] [--json PATH] [--no-time]";
+
+fn usage() -> ! {
+    eprintln!(
+        "{USAGE}\nrun `cldiam --help` or see the README's \"Supported file formats\" section"
+    );
+    std::process::exit(2);
+}
+
+/// Requested help goes to stdout and exits 0, unlike a usage error.
+fn help() -> ! {
+    println!(
+        "{USAGE}\n\n\
+         INPUT is a graph file (DIMACS .gr, SNAP/TSV edge list, or a binary .cldg\n\
+         snapshot; format auto-detected) or a generator spec such as gen:mesh:32,\n\
+         gen:rmat:10, gen:road:40x40, gen:ba:2000:8, gen:gnm:1000:4000,\n\
+         gen:roads:3:20x20.\n\n\
+         --tau N               CLUSTER batch size τ (default: auto from --quotient)\n\
+         --quotient N          quotient-size target for the auto τ rule (default 2000)\n\
+         --delta D             Δ-stepping bucket width (default: sweep a grid)\n\
+         --cluster2            decompose with CLUSTER2 (Algorithm 2)\n\
+         --algo A              cldiam | delta | both (default both)\n\
+         --seed K              RNG seed (default 1)\n\
+         --threads N           worker-pool size (default: CLDIAM_THREADS, then hardware)\n\
+         --largest-component   extract the largest connected component first\n\
+         --cache               reuse/write a binary .cldg snapshot next to the input\n\
+         --json PATH           write the JSON report rows to PATH (\"-\" for stdout)\n\
+         --no-time             report wall-clock fields as 0 (byte-identical reruns)"
+    );
+    std::process::exit(0);
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        input: String::new(),
+        tau: None,
+        target_quotient: 2_000,
+        delta: None,
+        cluster2: false,
+        algo: Algo::Both,
+        seed: 1,
+        threads: cldiam_bench::configured_threads(),
+        largest_component: false,
+        cache: false,
+        json: None,
+        no_time: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            usage()
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tau" => match value(&mut args, "--tau").parse() {
+                Ok(n) if n >= 1 => options.tau = Some(n),
+                _ => {
+                    eprintln!("--tau expects a positive integer");
+                    usage()
+                }
+            },
+            "--quotient" => match value(&mut args, "--quotient").parse() {
+                Ok(n) if n >= 1 => options.target_quotient = n,
+                _ => {
+                    eprintln!("--quotient expects a positive integer");
+                    usage()
+                }
+            },
+            "--delta" => match value(&mut args, "--delta").parse() {
+                Ok(d) if d >= 1 => options.delta = Some(d),
+                _ => {
+                    eprintln!("--delta expects a positive integer");
+                    usage()
+                }
+            },
+            "--cluster2" => options.cluster2 = true,
+            "--algo" => {
+                options.algo = match value(&mut args, "--algo").as_str() {
+                    "cldiam" => Algo::Cldiam,
+                    "delta" => Algo::Delta,
+                    "both" => Algo::Both,
+                    other => {
+                        eprintln!("unknown --algo {other:?}: expected cldiam | delta | both");
+                        usage()
+                    }
+                }
+            }
+            "--seed" => match value(&mut args, "--seed").parse() {
+                Ok(k) => options.seed = k,
+                Err(_) => {
+                    eprintln!("--seed expects an unsigned integer");
+                    usage()
+                }
+            },
+            "--threads" => match value(&mut args, "--threads").parse() {
+                Ok(n) if n >= 1 => options.threads = Some(n),
+                _ => {
+                    eprintln!("--threads expects a positive integer");
+                    usage()
+                }
+            },
+            "--largest-component" | "--lcc" => options.largest_component = true,
+            "--cache" => options.cache = true,
+            "--json" => options.json = Some(value(&mut args, "--json")),
+            "--no-time" => options.no_time = true,
+            "--help" | "-h" => help(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+            other if options.input.is_empty() => options.input = other.to_string(),
+            other => {
+                eprintln!("unexpected extra input {other:?}");
+                usage()
+            }
+        }
+    }
+    if options.input.is_empty() {
+        eprintln!("missing input: a graph file path or a gen:SPEC");
+        usage();
+    }
+    options
+}
+
+/// Loads the input graph: a `gen:` spec or a file in any supported format.
+fn load_input(options: &Options) -> (Graph, String) {
+    if let Some(spec_text) = options.input.strip_prefix("gen:") {
+        let spec = GraphSpec::parse(spec_text).unwrap_or_else(|e| {
+            eprintln!("bad gen: spec {spec_text:?}: {e}");
+            std::process::exit(2);
+        });
+        let graph = spec.generate(options.seed);
+        return (graph, spec.label());
+    }
+    let result = if options.cache {
+        load_graph_cached(&options.input).map(|(graph, from_snapshot)| {
+            if from_snapshot {
+                eprintln!("(loaded binary snapshot, text parse skipped)");
+            }
+            graph
+        })
+    } else {
+        load_graph(&options.input)
+    };
+    let graph = result.unwrap_or_else(|e| {
+        eprintln!("cannot load {:?}: {e}", options.input);
+        std::process::exit(1);
+    });
+    let label = std::path::Path::new(&options.input)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| options.input.clone());
+    (graph, label)
+}
+
+fn main() {
+    let options = parse_args();
+    cldiam_bench::install_with_threads(options.threads, || run(&options));
+}
+
+fn run(options: &Options) {
+    let load_started = Instant::now();
+    let (mut graph, label) = load_input(options);
+    let raw_nodes = graph.num_nodes();
+    let mut proxy = options.input.clone();
+    if options.largest_component {
+        let (core, _) = largest_component(&graph);
+        graph = core;
+        proxy.push_str(" (largest component)");
+        eprintln!("[cldiam] largest component: {} of {} nodes kept", graph.num_nodes(), raw_nodes);
+    }
+    eprintln!(
+        "[cldiam] {label}: {} nodes, {} edges (loaded in {:.2}s)",
+        graph.num_nodes(),
+        graph.num_edges(),
+        load_started.elapsed().as_secs_f64()
+    );
+    if graph.num_nodes() == 0 {
+        eprintln!("[cldiam] the graph is empty; nothing to estimate");
+        std::process::exit(1);
+    }
+
+    let lower = reference_lower_bound(&graph, options.seed);
+    let tau = options.tau.unwrap_or_else(|| {
+        ClusterConfig::tau_for_quotient_target(graph.num_nodes(), options.target_quotient)
+    });
+    let config = ClusterConfig::default()
+        .with_tau(tau)
+        .with_seed(options.seed)
+        .with_cluster2(options.cluster2);
+
+    let mut results = Vec::new();
+    if options.algo != Algo::Delta {
+        results.push(run_cldiam_with(&graph, lower, &config));
+    }
+    if options.algo != Algo::Cldiam {
+        results.push(match options.delta {
+            Some(delta) => {
+                run_delta_stepping_with(&graph, baseline_source(&graph, options.seed), delta, lower)
+            }
+            None => run_delta_stepping_best(&graph, lower, options.seed),
+        });
+    }
+    if options.no_time {
+        for result in &mut results {
+            result.time_s = 0.0;
+        }
+    }
+
+    let rows = vec![ResultRow {
+        graph: label.clone(),
+        proxy,
+        nodes: graph.num_nodes(),
+        edges: graph.num_edges(),
+        results,
+    }];
+    println!("{}", render_table(&format!("cldiam — {label}"), &rows));
+    if let Some(path) = &options.json {
+        let json = to_json(&rows);
+        if path == "-" {
+            println!("{json}");
+        } else {
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("cannot write JSON to {path:?}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("(raw rows written to {path})");
+        }
+    }
+}

@@ -10,14 +10,26 @@ use std::fmt;
 use std::ops::Index;
 
 /// A JSON value.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Numbers are stored integer-aware: non-negative integers as [`Value::Uint`]
+/// (the paper's cost counters — messages, node updates — are `u64` and can
+/// legitimately exceed 2^53, where an `f64` starts dropping low bits),
+/// negative integers as [`Value::Int`], and everything else as
+/// [`Value::Number`]. The parser mirrors this, so any `u64` round-trips
+/// losslessly through the text form. Equality compares numbers numerically
+/// across the three variants.
+#[derive(Clone, Debug)]
 pub enum Value {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (stored as `f64`, like `serde_json`'s lossy mode).
+    /// A non-integral (or out-of-integer-range) JSON number.
     Number(f64),
+    /// A non-negative integer, stored exactly.
+    Uint(u64),
+    /// A negative integer, stored exactly.
+    Int(i64),
     /// A string.
     String(String),
     /// An array.
@@ -55,19 +67,85 @@ impl Value {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (lossy above 2^53 for the
+    /// integer variants — use [`Value::as_u64`] / [`Value::as_i64`] for exact
+    /// counters).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
+            Value::Uint(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
-    /// The numeric payload as an integer, if it is one exactly.
+    /// The numeric payload as a signed integer, if it is one exactly.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Value::Number(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => Some(*n as i64),
+            Value::Uint(n) => i64::try_from(*n).ok(),
+            Value::Int(n) => Some(*n),
             _ => None,
+        }
+    }
+
+    /// The numeric payload as an unsigned integer, if it is one exactly.
+    /// Lossless for the full `u64` range (cost counters above 2^53 included).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && n.abs() < 9.0e15 => {
+                Some(*n as u64)
+            }
+            Value::Uint(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Exact cross-variant numeric equality: `Uint(2)`, `Int(…)` holding 2 (never
+/// produced, but tolerated) and `Number(2.0)` all compare equal, while
+/// counters above 2^53 only ever equal their exact integer twins.
+fn numbers_equal(a: &Value, b: &Value) -> bool {
+    // A float equals an integer iff it is integral, inside the range where
+    // the comparison cast is exact, and cast-equal. 2^63/2^64 themselves are
+    // excluded: they are representable as f64 but their casts saturate.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    const TWO_64: f64 = 18_446_744_073_709_551_616.0;
+    let float_eq_uint =
+        |n: f64, u: u64| n.fract() == 0.0 && (0.0..TWO_64).contains(&n) && n as u64 == u;
+    let float_eq_int =
+        |n: f64, i: i64| n.fract() == 0.0 && (-TWO_63..TWO_63).contains(&n) && n as i64 == i;
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x == y,
+        (Value::Uint(x), Value::Uint(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Uint(u), Value::Int(i)) | (Value::Int(i), Value::Uint(u)) => {
+            u64::try_from(*i).map(|i| i == *u).unwrap_or(false)
+        }
+        (Value::Number(n), Value::Uint(u)) | (Value::Uint(u), Value::Number(n)) => {
+            float_eq_uint(*n, *u)
+        }
+        (Value::Number(n), Value::Int(i)) | (Value::Int(i), Value::Number(n)) => {
+            float_eq_int(*n, *i)
+        }
+        _ => false,
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::String(a), Value::String(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Object(a), Value::Object(b)) => a == b,
+            (
+                a @ (Value::Number(_) | Value::Uint(_) | Value::Int(_)),
+                b @ (Value::Number(_) | Value::Uint(_) | Value::Int(_)),
+            ) => numbers_equal(a, b),
+            _ => false,
         }
     }
 }
@@ -100,6 +178,12 @@ impl PartialEq<i64> for Value {
     }
 }
 
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
 impl PartialEq<f64> for Value {
     fn eq(&self, other: &f64) -> bool {
         self.as_f64() == Some(*other)
@@ -126,19 +210,31 @@ impl From<f64> for Value {
 
 impl From<u64> for Value {
     fn from(n: u64) -> Self {
-        Value::Number(n as f64)
+        Value::Uint(n)
     }
 }
 
 impl From<u32> for Value {
     fn from(n: u32) -> Self {
-        Value::Number(f64::from(n))
+        Value::Uint(u64::from(n))
     }
 }
 
 impl From<usize> for Value {
     fn from(n: usize) -> Self {
-        Value::Number(n as f64)
+        Value::Uint(n as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        // Canonical form: non-negative integers are always `Uint`, so values
+        // built from different integer types still compare with derived-like
+        // semantics and serialize identically.
+        match u64::try_from(n) {
+            Ok(u) => Value::Uint(u),
+            Err(_) => Value::Int(n),
+        }
     }
 }
 
@@ -182,14 +278,28 @@ fn write_number(out: &mut String, n: f64) {
     }
 }
 
-fn write_pretty(out: &mut String, value: &Value, indent: usize) {
-    let pad = "  ".repeat(indent);
-    let inner_pad = "  ".repeat(indent + 1);
+fn write_value_scalar(out: &mut String, value: &Value) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         Value::Number(n) => write_number(out, *n),
+        Value::Uint(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
         Value::String(s) => escape_into(out, s),
+        Value::Array(_) | Value::Object(_) => unreachable!("containers handled by write_pretty"),
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner_pad = "  ".repeat(indent + 1);
+    match value {
+        Value::Null
+        | Value::Bool(_)
+        | Value::Number(_)
+        | Value::Uint(_)
+        | Value::Int(_)
+        | Value::String(_) => write_value_scalar(out, value),
         Value::Array(items) if items.is_empty() => out.push_str("[]"),
         Value::Array(items) => {
             out.push_str("[\n");
@@ -295,14 +405,27 @@ impl Parser<'_> {
 
     fn parse_number(&mut self) -> Result<Value, String> {
         let start = self.pos;
+        let mut integral = true;
         while let Some(b) = self.peek() {
             if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                integral &= matches!(b, b'-' | b'0'..=b'9');
                 self.pos += 1;
             } else {
                 break;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        // Integer tokens are kept exact (a `u64` cost counter above 2^53
+        // would lose low bits through an f64); fractional/exponent tokens and
+        // integers too large for 64 bits fall back to f64.
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Uint(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::from(i));
+            }
+        }
         text.parse::<f64>().map(Value::Number).map_err(|e| format!("bad number {text:?}: {e}"))
     }
 
@@ -433,6 +556,54 @@ mod tests {
         assert_eq!(parsed["ratio"], 1.25f64);
         assert_eq!(parsed["tags"][1], "b");
         assert_eq!(parsed["nested"]["ok"], Value::Bool(true));
+    }
+
+    #[test]
+    fn large_counters_round_trip_losslessly() {
+        // u64 cost counters above 2^53 must survive text round-trips exactly;
+        // the old f64-backed storage returned u64::MAX as 18446744073709551616.
+        let counters =
+            [u64::MAX, u64::MAX - 1, (1u64 << 53) + 1, 1u64 << 53, 9_007_199_254_740_993];
+        for &c in &counters {
+            let doc = object([("work", c.into())]);
+            let parsed = from_str(&to_string_pretty(&doc)).unwrap();
+            assert_eq!(parsed["work"].as_u64(), Some(c), "counter {c}");
+            assert_eq!(parsed, doc);
+        }
+        let text = to_string_pretty(&object([("work", u64::MAX.into())]));
+        assert!(text.contains("18446744073709551615"), "{text}");
+    }
+
+    #[test]
+    fn negative_integers_round_trip_exactly() {
+        for &i in &[i64::MIN, i64::MIN + 1, -1i64, -(1i64 << 53) - 1] {
+            let doc = object([("v", i.into())]);
+            let parsed = from_str(&to_string_pretty(&doc)).unwrap();
+            assert_eq!(parsed["v"].as_i64(), Some(i), "value {i}");
+            assert_eq!(parsed, doc);
+        }
+    }
+
+    #[test]
+    fn numeric_equality_spans_variants() {
+        assert_eq!(Value::Uint(2), Value::Number(2.0));
+        assert_eq!(Value::Number(-3.0), Value::from(-3i64));
+        assert_ne!(Value::Uint(u64::MAX), Value::Number(u64::MAX as f64));
+        assert_ne!(Value::Uint(2), Value::Number(2.5));
+        assert_ne!(Value::Uint(0), Value::Null);
+        // 2^63 and 2^64 are exactly representable as f64 but their integer
+        // casts saturate; they must not alias the saturated values.
+        assert_ne!(Value::Number(9_223_372_036_854_775_808.0f64 * 2.0), Value::Uint(u64::MAX));
+        assert_ne!(Value::Number(-9_223_372_036_854_775_808.0f64 * 2.0), Value::Int(i64::MIN));
+    }
+
+    #[test]
+    fn integer_typed_comparisons() {
+        let doc = object([("big", u64::MAX.into()), ("neg", (-7i64).into())]);
+        assert_eq!(doc["big"], u64::MAX);
+        assert_eq!(doc["neg"], -7i64);
+        assert_eq!(doc["big"].as_i64(), None);
+        assert_eq!(doc["neg"].as_u64(), None);
     }
 
     #[test]

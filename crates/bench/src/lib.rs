@@ -18,6 +18,8 @@ pub mod threads;
 pub mod workloads;
 
 pub use report::{render_figure, render_table, to_json, ResultRow};
-pub use runner::{run_cldiam, run_delta_stepping_best, run_delta_stepping_with, RunResult};
+pub use runner::{
+    run_cldiam, run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with, RunResult,
+};
 pub use threads::{configured_threads, install_with_threads};
 pub use workloads::{Workload, WorkloadSet};

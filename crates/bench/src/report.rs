@@ -164,6 +164,6 @@ mod tests {
         let json = to_json(&sample_rows());
         let value = crate::json::from_str(&json).unwrap();
         assert_eq!(value[0]["graph"], "mesh");
-        assert_eq!(value[0]["results"][1]["rounds"], 900);
+        assert_eq!(value[0]["results"][1]["rounds"], 900u64);
     }
 }

@@ -54,6 +54,31 @@ pub fn reference_lower_bound(graph: &Graph, seed: u64) -> Dist {
     diameter_lower_bound(graph, 4, seed)
 }
 
+/// Runs `CL-DIAM` under an explicit [`ClusterConfig`] — the entry point of
+/// the `cldiam` CLI, where `τ` and the `CLUSTER2` switch come from flags.
+pub fn run_cldiam_with(graph: &Graph, lower_bound: Dist, config: &ClusterConfig) -> RunResult {
+    let started = Instant::now();
+    let estimate = approximate_diameter(graph, config);
+    let time_s = started.elapsed().as_secs_f64();
+    RunResult {
+        algorithm: "CL-DIAM".to_string(),
+        estimate: estimate.upper_bound,
+        lower_bound,
+        approximation: estimate.ratio_against(lower_bound),
+        time_s,
+        rounds: estimate.metrics.rounds,
+        work: estimate.metrics.work(),
+        detail: format!(
+            "tau={} decomposition={} clusters={} radius={} growing_steps={}",
+            config.tau,
+            if config.use_cluster2 { "CLUSTER2" } else { "CLUSTER" },
+            estimate.num_clusters,
+            estimate.radius,
+            estimate.growing_steps
+        ),
+    }
+}
+
 /// Runs `CL-DIAM` with the paper's practical configuration: decomposition via
 /// `CLUSTER`, initial `Δ` = average edge weight, `τ` chosen so the quotient
 /// graph stays below `target_quotient` nodes.
@@ -65,22 +90,7 @@ pub fn run_cldiam(
 ) -> RunResult {
     let tau = ClusterConfig::tau_for_quotient_target(graph.num_nodes(), target_quotient);
     let config = ClusterConfig::default().with_tau(tau).with_seed(seed);
-    let started = Instant::now();
-    let estimate = approximate_diameter(graph, &config);
-    let time_s = started.elapsed().as_secs_f64();
-    RunResult {
-        algorithm: "CL-DIAM".to_string(),
-        estimate: estimate.upper_bound,
-        lower_bound,
-        approximation: estimate.ratio_against(lower_bound),
-        time_s,
-        rounds: estimate.metrics.rounds,
-        work: estimate.metrics.work(),
-        detail: format!(
-            "tau={tau} clusters={} radius={} growing_steps={}",
-            estimate.num_clusters, estimate.radius, estimate.growing_steps
-        ),
-    }
+    run_cldiam_with(graph, lower_bound, &config)
 }
 
 /// Runs the Δ-stepping baseline from `source` with an explicit bucket width

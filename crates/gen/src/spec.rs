@@ -115,6 +115,66 @@ impl GraphSpec {
         let (core, _) = largest_component(&raw);
         core
     }
+
+    /// Parses a compact textual spec, the syntax of the `cldiam` CLI's
+    /// `gen:` inputs (the part after the `gen:` prefix):
+    ///
+    /// * `mesh:SIDE` — `mesh(SIDE)`;
+    /// * `rmat:SCALE` — `R-MAT(SCALE)`;
+    /// * `road:ROWSxCOLS` — synthetic road lattice;
+    /// * `ba:NODES:EDGES_PER_NODE` — preferential attachment;
+    /// * `gnm:NODES:EDGES` — Erdős–Rényi `G(n, m)`;
+    /// * `roads:S:ROWSxCOLS` — the paper's `roads(S)` cartesian product.
+    pub fn parse(spec: &str) -> Result<GraphSpec, String> {
+        fn num<T: std::str::FromStr>(token: Option<&str>, what: &str) -> Result<T, String> {
+            token
+                .ok_or_else(|| format!("missing {what}"))?
+                .parse::<T>()
+                .map_err(|_| format!("bad {what}: {:?}", token.unwrap_or("")))
+        }
+        fn grid(token: Option<&str>) -> Result<(usize, usize), String> {
+            let token = token.ok_or("missing ROWSxCOLS dimensions")?;
+            let (r, c) = token.split_once('x').ok_or_else(|| {
+                format!("bad dimensions {token:?}: expected ROWSxCOLS (e.g. 40x40)")
+            })?;
+            Ok((
+                r.parse().map_err(|_| format!("bad row count {r:?}"))?,
+                c.parse().map_err(|_| format!("bad column count {c:?}"))?,
+            ))
+        }
+        let mut parts = spec.split(':');
+        let family = parts.next().unwrap_or("");
+        let parsed = match family {
+            "mesh" => GraphSpec::Mesh { side: num(parts.next(), "mesh side")? },
+            "rmat" => GraphSpec::RMat { scale: num(parts.next(), "R-MAT scale")? },
+            "road" => {
+                let (rows, cols) = grid(parts.next())?;
+                GraphSpec::RoadNetwork { rows, cols }
+            }
+            "ba" => GraphSpec::PreferentialAttachment {
+                nodes: num(parts.next(), "node count")?,
+                edges_per_node: num(parts.next(), "edges-per-node count")?,
+            },
+            "gnm" => GraphSpec::Gnm {
+                nodes: num(parts.next(), "node count")?,
+                edges: num(parts.next(), "edge count")?,
+            },
+            "roads" => {
+                let s = num(parts.next(), "path length S")?;
+                let (rows, cols) = grid(parts.next())?;
+                GraphSpec::RoadsProduct { s, rows, cols }
+            }
+            other => {
+                return Err(format!(
+                    "unknown family {other:?}: expected mesh | rmat | road | ba | gnm | roads"
+                ))
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("unexpected trailing component {extra:?}"));
+        }
+        Ok(parsed)
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +221,35 @@ mod tests {
     fn generate_is_deterministic_per_spec() {
         let spec = GraphSpec::RMat { scale: 7 };
         assert_eq!(spec.generate(5), spec.generate(5));
+    }
+
+    #[test]
+    fn parses_cli_specs() {
+        assert_eq!(GraphSpec::parse("mesh:24").unwrap(), GraphSpec::Mesh { side: 24 });
+        assert_eq!(GraphSpec::parse("rmat:10").unwrap(), GraphSpec::RMat { scale: 10 });
+        assert_eq!(
+            GraphSpec::parse("road:40x30").unwrap(),
+            GraphSpec::RoadNetwork { rows: 40, cols: 30 }
+        );
+        assert_eq!(
+            GraphSpec::parse("ba:500:4").unwrap(),
+            GraphSpec::PreferentialAttachment { nodes: 500, edges_per_node: 4 }
+        );
+        assert_eq!(
+            GraphSpec::parse("gnm:100:300").unwrap(),
+            GraphSpec::Gnm { nodes: 100, edges: 300 }
+        );
+        assert_eq!(
+            GraphSpec::parse("roads:3:20x20").unwrap(),
+            GraphSpec::RoadsProduct { s: 3, rows: 20, cols: 20 }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_cli_specs() {
+        for bad in ["", "mesh", "mesh:x", "rmat:9:9", "road:40", "torus:5", "ba:10"] {
+            assert!(GraphSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

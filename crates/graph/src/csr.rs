@@ -181,6 +181,17 @@ impl Graph {
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
     }
+
+    /// Raw CSR arc-target array, parallel to [`Graph::weights`]. Exposed for
+    /// the binary snapshot writer and advanced consumers.
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// Raw CSR arc-weight array, parallel to [`Graph::targets`].
+    pub fn weights(&self) -> &[Weight] {
+        &self.weights
+    }
 }
 
 #[cfg(test)]

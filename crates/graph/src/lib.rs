@@ -14,7 +14,10 @@
 //!   `roads(S)` family), induced subgraphs, relabelling and reweighting.
 //! * [`stats`] — degree/weight statistics used by the benchmark harness to
 //!   regenerate Table 1.
-//! * [`edgelist`] — plain-text edge list I/O.
+//! * [`io`] — file ingestion: SNAP/TSV edge lists, DIMACS `.gr`, a versioned
+//!   binary CSR snapshot, and format auto-detection ([`load_graph`]). Text
+//!   parsing is parallel over newline-aligned chunks and deterministic at any
+//!   thread count.
 //! * [`properties`] — ball-growth probes related to the doubling dimension
 //!   assumption of Corollary 1.
 //!
@@ -25,7 +28,7 @@
 pub mod builder;
 pub mod components;
 pub mod csr;
-pub mod edgelist;
+pub mod io;
 pub mod ops;
 pub mod properties;
 pub mod stats;
@@ -33,8 +36,12 @@ pub mod traversal;
 pub mod weight;
 
 pub use builder::GraphBuilder;
-pub use components::{connected_components, largest_component, ComponentLabels};
+pub use components::{
+    component_subgraphs, connected_components, largest_component, ComponentLabels,
+};
 pub use csr::Graph;
+pub use io::edgelist;
+pub use io::{detect_format, load_graph, load_graph_cached, FileFormat, IoError};
 pub use stats::GraphStats;
 pub use weight::{
     dist_to_unit, weight_from_unit, weight_to_unit, Dist, NodeId, Weight, INFINITY, WEIGHT_SCALE,

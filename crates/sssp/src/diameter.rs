@@ -8,7 +8,7 @@
 //! * Exact diameter: all-pairs Dijkstra (parallel over sources), tractable for
 //!   the small graphs used in tests and for quotient graphs.
 
-use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{component_subgraphs, connected_components, Dist, Graph, NodeId, INFINITY};
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 use rayon::prelude::*;
@@ -20,22 +20,91 @@ pub fn eccentricity(graph: &Graph, source: NodeId) -> Dist {
     dijkstra(graph, source).eccentricity()
 }
 
-/// The SSSP 2-approximation of the diameter: `2 · ecc(source)`. The true
-/// diameter lies in `[ecc(source), 2 · ecc(source)]`.
-pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
-    eccentricity(graph, source).saturating_mul(2)
+/// The subgraph-local id of `node` within a component's ascending
+/// `new id -> original id` mapping, or 0 when the node is not a member.
+fn local_id(mapping: &[NodeId], node: NodeId) -> NodeId {
+    mapping.binary_search(&node).map(|i| i as NodeId).unwrap_or(0)
 }
 
-/// Lower bound on the diameter via iterated farthest-node sweeps: starting
-/// from a random node, run Dijkstra, move to the farthest node reached and
-/// repeat for `sweeps` iterations; the largest eccentricity observed is a
-/// valid lower bound (and is usually very tight on road networks and meshes).
+/// The SSSP 2-approximation of the diameter: the true diameter lies in
+/// `[ecc, 2 · ecc]` for the eccentricity of any node of the component that
+/// realizes it.
+///
+/// The diameter of a possibly-disconnected graph is the largest distance
+/// between two nodes *in the same component* (the paper's convention), so a
+/// sweep from `source` alone — whose eccentricity ignores unreachable nodes —
+/// would silently under-bound whenever the diameter lives in another
+/// component. One sweep is therefore run per non-singleton component (from
+/// `source` for its own component, from the smallest member node for every
+/// other, in parallel) and the bounds are combined with `max`. Each sweep
+/// runs on the component's own subgraph ([`component_subgraphs`], `O(n + m)`
+/// to split), so fragmented graphs pay for their components' sizes, not
+/// `components × n`.
+pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
+    let labels = connected_components(graph);
+    if labels.count <= 1 {
+        return eccentricity(graph, source).saturating_mul(2);
+    }
+    let source_label = labels.labels[source as usize];
+    component_subgraphs(graph, &labels)
+        .par_iter()
+        .map(|(sub, mapping)| {
+            let start = if labels.labels[mapping[0] as usize] == source_label {
+                local_id(mapping, source)
+            } else {
+                0
+            };
+            dijkstra(sub, start).eccentricity().saturating_mul(2)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound on the diameter via iterated farthest-node sweeps: run
+/// Dijkstra, move to the farthest node reached and repeat, keeping the
+/// largest eccentricity observed (usually very tight on road networks and
+/// meshes).
+///
+/// On a disconnected graph a single sweep chain can never leave its starting
+/// component, and a uniformly random start may land in a tiny component and
+/// report a uselessly loose bound. One chain is therefore run per
+/// non-singleton component, all in parallel on the components' own subgraphs
+/// ([`component_subgraphs`], `O(n + m)` to split): the largest component's
+/// chain starts at the random node (relocated into it if the draw landed
+/// elsewhere), every other chain at its component's smallest member, and
+/// each chain gets the full `sweeps` budget. Total cost is the split plus
+/// `O(sweeps)` Dijkstras per component *at that component's size*, so
+/// fragmented raw datasets stay tractable.
 pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
     if graph.num_nodes() == 0 {
         return 0;
     }
+    let labels = connected_components(graph);
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
-    let mut current = rng.gen_range(0..graph.num_nodes()) as NodeId;
+    let random_start = rng.gen_range(0..graph.num_nodes()) as NodeId;
+    if labels.count <= 1 {
+        return sweep_chain(graph, random_start, sweeps);
+    }
+    let largest = labels.largest().expect("non-empty graph has a largest component");
+    let in_largest = |u: NodeId| labels.labels[u as usize] == largest;
+    component_subgraphs(graph, &labels)
+        .par_iter()
+        .map(|(sub, mapping)| {
+            let start = if in_largest(mapping[0]) && in_largest(random_start) {
+                local_id(mapping, random_start)
+            } else {
+                0
+            };
+            sweep_chain(sub, start, sweeps)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// One iterated farthest-node sweep chain from `start` (stays within the
+/// start's component by construction).
+fn sweep_chain(graph: &Graph, start: NodeId, sweeps: usize) -> Dist {
+    let mut current = start;
     let mut best = 0;
     for _ in 0..sweeps.max(1) {
         let sp = dijkstra(graph, current);
@@ -126,6 +195,80 @@ mod tests {
     fn disconnected_graph_uses_per_component_diameter() {
         let g = cldiam_graph::Graph::from_edges(5, &[(0, 1, 5), (2, 3, 2), (3, 4, 2)]);
         assert_eq!(exact_diameter(&g), 5);
+    }
+
+    #[test]
+    fn upper_bound_holds_with_isolated_source() {
+        // Regression: node 0 is isolated, the long path lives elsewhere. The
+        // old implementation returned 2·ecc(0) = 0, *below* the true diameter
+        // of 30 — violating the upper-bound contract.
+        let g = cldiam_graph::Graph::from_edges(5, &[(1, 2, 10), (2, 3, 10), (3, 4, 10)]);
+        let exact = exact_diameter(&g);
+        assert_eq!(exact, 30);
+        let ub = sssp_diameter_upper_bound(&g, 0);
+        assert!(ub >= exact, "upper bound {ub} below exact diameter {exact}");
+        assert!(ub <= 2 * exact);
+    }
+
+    #[test]
+    fn upper_bound_holds_from_every_source_on_disconnected_graphs() {
+        // Three components of very different diameters; the bound must hold
+        // no matter which component the source sits in.
+        let g = cldiam_graph::Graph::from_edges(
+            9,
+            &[(0, 1, 1), (2, 3, 7), (3, 4, 7), (5, 6, 2), (6, 7, 2), (7, 8, 2)],
+        );
+        let exact = exact_diameter(&g);
+        assert_eq!(exact, 14);
+        for source in 0..9 {
+            let ub = sssp_diameter_upper_bound(&g, source);
+            assert!(ub >= exact, "source {source}: upper bound {ub} below {exact}");
+            assert!(ub <= 2 * exact, "source {source}: upper bound {ub} not within 2x");
+        }
+    }
+
+    #[test]
+    fn lower_bound_escapes_tiny_components() {
+        // Regression: a 2-node component next to a long path. A random start
+        // landing in the tiny component used to trap the whole sweep there,
+        // reporting a bound of 1 against a true diameter of 30. Every seed
+        // must now find the path regardless of where the start lands.
+        let g =
+            cldiam_graph::Graph::from_edges(6, &[(0, 1, 1), (2, 3, 10), (3, 4, 10), (4, 5, 10)]);
+        let exact = exact_diameter(&g);
+        assert_eq!(exact, 30);
+        for seed in 0..16 {
+            let lb = diameter_lower_bound(&g, 4, seed);
+            assert!(lb <= exact, "seed {seed}: lower bound {lb} above exact {exact}");
+            assert_eq!(lb, exact, "seed {seed}: loose lower bound {lb}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_covers_small_components_larger_than_the_biggest() {
+        // The largest component (a 5-node unit-weight star-ish path) has a
+        // *smaller* diameter than a 3-node heavy path; the per-component
+        // restart must surface the heavy one.
+        let g = cldiam_graph::Graph::from_edges(
+            8,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (5, 6, 100), (6, 7, 100)],
+        );
+        let exact = exact_diameter(&g);
+        assert_eq!(exact, 200);
+        for seed in 0..8 {
+            let lb = diameter_lower_bound(&g, 4, seed);
+            assert_eq!(lb, exact, "seed {seed}: missed the heavy component ({lb})");
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_exact_diameter_with_isolated_nodes() {
+        // Isolated nodes (singleton components) are skipped, not swept.
+        let g = cldiam_graph::Graph::from_edges(64, &[(10, 20, 5), (20, 30, 5)]);
+        assert_eq!(exact_diameter(&g), 10);
+        assert!(sssp_diameter_upper_bound(&g, 0) >= 10);
+        let lb = diameter_lower_bound(&g, 3, 9);
+        assert!(lb <= 10 && lb > 0);
     }
 
     #[test]
