@@ -26,22 +26,13 @@ fn bench_growing(c: &mut Criterion) {
     for side in [32usize, 64, 96] {
         let graph = mesh(side, WeightModel::UniformUnit, 7);
         let centers: Vec<NodeId> = (0..8).map(|i| (i * graph.num_nodes() / 8) as NodeId).collect();
-        let threshold = 4 * i64::from(cldiam_graph::WEIGHT_SCALE);
+        let threshold = 4 * u64::from(cldiam_graph::WEIGHT_SCALE);
 
         group.bench_with_input(BenchmarkId::new("shared_memory", side), &graph, |b, g| {
             let mut scratch = GrowScratch::with_capacity(g.num_nodes());
             b.iter(|| {
                 let mut state = seeded_state(g.num_nodes(), &centers);
-                partial_growth(
-                    g,
-                    threshold,
-                    threshold as u64,
-                    &mut state,
-                    None,
-                    None,
-                    None,
-                    &mut scratch,
-                )
+                partial_growth(g, threshold, threshold, &mut state, None, None, None, &mut scratch)
             })
         });
         if side <= 64 {
@@ -49,7 +40,7 @@ fn bench_growing(c: &mut Criterion) {
                 b.iter(|| {
                     let engine = MrEngine::new(MrConfig::with_machines(8));
                     let mut state = seeded_state(g.num_nodes(), &centers);
-                    mr_partial_growth(&engine, g, threshold, threshold as u64, &mut state)
+                    mr_partial_growth(&engine, g, threshold, threshold, &mut state)
                 })
             });
         }

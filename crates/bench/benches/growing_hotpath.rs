@@ -33,9 +33,12 @@ fn spread_centers(n: usize, k: usize) -> Vec<NodeId> {
 
 /// Reference driver: the two-phase step looped to fixpoint, mirroring
 /// `partial_growth` without the in-place machinery.
-fn materialized_growth(graph: &Graph, threshold: i64, light_limit: Dist, state: &mut GrowState) {
+fn materialized_growth(graph: &Graph, threshold: Dist, light_limit: Dist, state: &mut GrowState) {
     let mut frontier: Vec<NodeId> = (0..state.len() as NodeId)
-        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .filter(|&u| {
+            cldiam_core::eff_below_threshold(state.eff[u as usize], threshold)
+                && state.center[u as usize] != NO_CENTER
+        })
         .collect();
     while !frontier.is_empty() {
         let (updated, _) =
@@ -55,28 +58,19 @@ fn bench_hotpath(c: &mut Criterion) {
 
     for (name, graph) in &workloads {
         let centers = spread_centers(graph.num_nodes(), 8);
-        let threshold = 4 * i64::from(WEIGHT_SCALE);
+        let threshold = 4 * Dist::from(WEIGHT_SCALE);
 
         group.bench_with_input(BenchmarkId::new("in_place", name), graph, |b, g| {
             let mut scratch = GrowScratch::with_capacity(g.num_nodes());
             b.iter(|| {
                 let mut state = seeded_state(g.num_nodes(), &centers);
-                partial_growth(
-                    g,
-                    threshold,
-                    threshold as Dist,
-                    &mut state,
-                    None,
-                    None,
-                    None,
-                    &mut scratch,
-                )
+                partial_growth(g, threshold, threshold, &mut state, None, None, None, &mut scratch)
             })
         });
         group.bench_with_input(BenchmarkId::new("materialized", name), graph, |b, g| {
             b.iter(|| {
                 let mut state = seeded_state(g.num_nodes(), &centers);
-                materialized_growth(g, threshold, threshold as Dist, &mut state);
+                materialized_growth(g, threshold, threshold, &mut state);
                 state
             })
         });

@@ -1,0 +1,69 @@
+//! `sssp_engine`: the bucket-array Δ-stepping engine and the batched
+//! multi-source drivers versus the subsystems they replaced.
+//!
+//! Two before/after pairs on the repo's standard mesh and R-MAT specs:
+//!
+//! * `delta_reference` vs `delta_bucket` — one Δ-stepping run per iteration;
+//!   the reference allocates its `BTreeMap` buckets and distance vector per
+//!   run, the engine reuses one `SsspScratch` (atomic distance cells, cyclic
+//!   bucket ring, `O(reached)` resets).
+//! * `ecc_per_source` vs `ecc_batched` — eccentricities of 64 spread
+//!   sources; the per-source loop mirrors the pre-refactor `exact_diameter`
+//!   (parallel over sources, one full Dijkstra — dist/hops/parent vectors
+//!   plus a heap — allocated per source), the batched driver shares a
+//!   `ScratchPool` of distance-only scratches across the workers.
+//!
+//! Results go into `BENCH_sssp.json` at the repo root, alongside the host
+//! CPU count.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+
+use cldiam_gen::{mesh, rmat, RmatParams, WeightModel};
+use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_sssp::{
+    batched_eccentricities, delta_stepping_reference, delta_stepping_with_scratch, dijkstra,
+    suggest_delta, SsspScratch,
+};
+
+fn spread_sources(n: usize, k: usize) -> Vec<NodeId> {
+    (0..k).map(|i| (i * n / k) as NodeId).collect()
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sssp_engine");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let workloads: Vec<(String, Graph)> = vec![
+        ("mesh64".to_string(), mesh(64, WeightModel::UniformUnit, 7)),
+        ("rmat10".to_string(), rmat(RmatParams::paper(10), WeightModel::UniformUnit, 7)),
+    ];
+
+    for (name, graph) in &workloads {
+        let delta = suggest_delta(graph);
+        let source = (graph.num_nodes() / 2) as NodeId;
+        let sources = spread_sources(graph.num_nodes(), 64);
+
+        group.bench_with_input(BenchmarkId::new("delta_reference", name), graph, |b, g| {
+            b.iter(|| delta_stepping_reference(g, source, delta, None))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_bucket", name), graph, |b, g| {
+            let mut scratch = SsspScratch::with_capacity(g.num_nodes());
+            b.iter(|| delta_stepping_with_scratch(g, source, delta, None, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("ecc_per_source", name), graph, |b, g| {
+            b.iter(|| {
+                sources.par_iter().map(|&s| dijkstra(g, s).eccentricity()).collect::<Vec<Dist>>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ecc_batched", name), graph, |b, g| {
+            b.iter(|| batched_eccentricities(g, &sources))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

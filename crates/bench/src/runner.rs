@@ -6,7 +6,7 @@ use std::time::Instant;
 use cldiam_core::{approximate_diameter, ClusterConfig};
 use cldiam_graph::{Dist, Graph, NodeId};
 use cldiam_mr::CostTracker;
-use cldiam_sssp::{delta_stepping, diameter_lower_bound, suggest_delta};
+use cldiam_sssp::{delta_stepping_with_scratch, diameter_lower_bound, suggest_delta, SsspScratch};
 
 use crate::json::{object, Value};
 
@@ -101,9 +101,23 @@ pub fn run_delta_stepping_with(
     delta: u32,
     lower_bound: Dist,
 ) -> RunResult {
+    let mut scratch = SsspScratch::with_capacity(graph.num_nodes());
+    run_delta_stepping_scratch(graph, source, delta, lower_bound, &mut scratch)
+}
+
+/// [`run_delta_stepping_with`] over a caller-provided [`SsspScratch`], so
+/// grid sweeps reuse the engine state (distances, bucket ring, touched list)
+/// across every Δ candidate instead of re-allocating per run.
+pub fn run_delta_stepping_scratch(
+    graph: &Graph,
+    source: NodeId,
+    delta: u32,
+    lower_bound: Dist,
+    scratch: &mut SsspScratch,
+) -> RunResult {
     let tracker = CostTracker::new();
     let started = Instant::now();
-    let outcome = delta_stepping(graph, source, delta, Some(&tracker));
+    let outcome = delta_stepping_with_scratch(graph, source, delta, Some(&tracker), scratch);
     let time_s = started.elapsed().as_secs_f64();
     let estimate = outcome.eccentricity().saturating_mul(2);
     RunResult {
@@ -134,9 +148,13 @@ pub fn run_delta_stepping_best(graph: &Graph, lower_bound: Dist, seed: u64) -> R
     let source = baseline_source(graph, seed);
     let candidates =
         [base, base.saturating_mul(4), base.saturating_mul(16), base.saturating_mul(64)];
+    // One engine scratch serves the whole grid: each candidate run resets in
+    // O(reached) and reuses the distance cells and bucket ring.
+    let mut scratch = SsspScratch::with_capacity(graph.num_nodes());
     let mut best: Option<RunResult> = None;
     for &delta in &candidates {
-        let result = run_delta_stepping_with(graph, source, delta.max(1), lower_bound);
+        let result =
+            run_delta_stepping_scratch(graph, source, delta.max(1), lower_bound, &mut scratch);
         let better = match &best {
             None => true,
             Some(b) => result.rounds < b.rounds,

@@ -1,5 +1,4 @@
-//! Lock-free-in-spirit per-node atomic growth state for the in-place
-//! Δ-growing hot path.
+//! Per-node atomic growth state for the in-place Δ-growing hot path.
 //!
 //! The two-phase formulation of a Δ-growing step (materialize every
 //! relaxation proposal, then reduce per target) pays O(frontier + proposals)
@@ -26,30 +25,18 @@
 //!   propose the same `(eff, center)` with different accumulated
 //!   original-graph distances.
 //!
-//! # Why a sequence word instead of literally one packed word
-//!
-//! The winning key is 128 bits wide (`eff: i64`, `center: u32`, `src: u32`)
-//! and a `true_dist: u64` payload rides along, so the state cannot be packed
-//! into one portable atomic word without truncating distances. Instead each
-//! node carries a sequence word (`seq`) that turns its four field words into
-//! one logically-atomic value, seqlock style:
-//!
-//! * even `seq` — the fields are consistent and may be read optimistically
-//!   (validate by re-reading `seq` afterwards);
-//! * a writer acquires the cell by CAS-ing `seq` from even to odd, stores the
-//!   fields, and releases with `seq + 2`.
-//!
-//! The CAS loop in [`AtomicGrowCells::propose`] is therefore a fetch-min over
-//! the triple: a proposal is rejected without ever taking the cell lock unless
-//! it strictly improves the current value, every successful write strictly
-//! decreases the key, and the cell converges to the global minimum of all
-//! proposals regardless of thread count or scheduling. All of this is
-//! unsafe-free: the fields are ordinary `std::sync::atomic` types.
-
-use std::sync::atomic::{fence, AtomicI64, AtomicU32, AtomicU64, Ordering};
+//! The CAS machinery itself — the multi-word seqlock fetch-min — lives in
+//! [`cldiam_graph::atomic::SeqMinCells`], the same unsafe-free module the
+//! Δ-stepping SSSP engine relaxes through (with its single-word
+//! [`cldiam_graph::atomic::MinDistCells`] flavour). This type is the
+//! `GrowState`-aware wrapper: it maps `(eff, center, src, true_dist)` onto
+//! the generic `(key1, key2, key3, payload)` cell, loads/stores whole states
+//! around a growth, and carries the frozen flags that make covered nodes
+//! source-only.
 
 use rayon::prelude::*;
 
+use cldiam_graph::atomic::SeqMinCells;
 use cldiam_graph::{Dist, NodeId};
 
 use crate::state::GrowState;
@@ -69,20 +56,13 @@ pub enum Proposed {
 }
 
 /// Per-node growth state in atomic cells, supporting concurrent in-place
-/// relaxation. See the module docs for the protocol.
+/// relaxation. See the module docs for the key order and
+/// [`cldiam_graph::atomic`] for the seqlock protocol.
 #[derive(Debug, Default)]
 pub struct AtomicGrowCells {
-    /// Sequence word per node: even = consistent, odd = writer active.
-    seq: Vec<AtomicU32>,
-    /// Effective (contracted-graph) distance; primary key component.
-    eff: Vec<AtomicI64>,
-    /// Assigned cluster center; secondary key component.
-    center: Vec<AtomicU32>,
-    /// Proposing frontier node + 1 of the current value, or `0` when the value
-    /// predates the current wave ("settled"); final tie-break component.
-    src: Vec<AtomicU32>,
-    /// Original-graph distance upper bound; payload, not part of the key.
-    true_dist: Vec<AtomicU64>,
+    /// The shared multi-word fetch-min cells: key1 = eff, key2 = center,
+    /// key3 = src + 1 (0 = settled), payload = true_dist.
+    cells: SeqMinCells,
     /// Frozen flags, immutable during a growth: frozen nodes are never
     /// proposed to (they only act as sources).
     frozen: Vec<bool>,
@@ -96,22 +76,12 @@ impl AtomicGrowCells {
 
     /// Number of nodes tracked.
     pub fn len(&self) -> usize {
-        self.seq.len()
+        self.cells.len()
     }
 
     /// `true` if no nodes are tracked.
     pub fn is_empty(&self) -> bool {
-        self.seq.is_empty()
-    }
-
-    fn resize(&mut self, n: usize) {
-        if self.seq.len() != n {
-            self.seq = (0..n).map(|_| AtomicU32::new(0)).collect();
-            self.eff = (0..n).map(|_| AtomicI64::new(0)).collect();
-            self.center = (0..n).map(|_| AtomicU32::new(0)).collect();
-            self.src = (0..n).map(|_| AtomicU32::new(0)).collect();
-            self.true_dist = (0..n).map(|_| AtomicU64::new(0)).collect();
-        }
+        self.cells.is_empty()
     }
 
     /// Loads a [`GrowState`] into the cells, resetting every sequence word and
@@ -119,16 +89,12 @@ impl AtomicGrowCells {
     /// per wave.
     pub fn load_from(&mut self, state: &GrowState) {
         let n = state.len();
-        self.resize(n);
+        self.cells.resize(n);
         self.frozen.clear();
         self.frozen.extend_from_slice(&state.frozen);
-        let cells = &*self;
+        let cells = &self.cells;
         (0..n).into_par_iter().with_min_len(2048).for_each(|u| {
-            cells.seq[u].store(0, Ordering::Relaxed);
-            cells.eff[u].store(state.eff[u], Ordering::Relaxed);
-            cells.center[u].store(state.center[u], Ordering::Relaxed);
-            cells.src[u].store(0, Ordering::Relaxed);
-            cells.true_dist[u].store(state.true_dist[u], Ordering::Relaxed);
+            cells.set(u, state.eff[u], state.center[u], 0, state.true_dist[u]);
         });
     }
 
@@ -142,25 +108,23 @@ impl AtomicGrowCells {
         let n = self.len();
         assert_eq!(state.len(), n, "cells do not match the state");
         const CHUNK: usize = 2048;
-        let eff = &self.eff;
-        let center = &self.center;
-        let true_dist = &self.true_dist;
+        let cells = &self.cells;
         state.eff.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
             let base = ci * CHUNK;
             for (i, e) in chunk.iter_mut().enumerate() {
-                *e = eff[base + i].load(Ordering::Relaxed);
+                *e = cells.read_key1(base + i);
             }
         });
         state.center.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
             let base = ci * CHUNK;
             for (i, c) in chunk.iter_mut().enumerate() {
-                *c = center[base + i].load(Ordering::Relaxed);
+                *c = cells.read_key2(base + i);
             }
         });
         state.true_dist.par_chunks_mut(CHUNK).enumerate().for_each(|(ci, chunk)| {
             let base = ci * CHUNK;
             for (i, d) in chunk.iter_mut().enumerate() {
-                *d = true_dist[base + i].load(Ordering::Relaxed);
+                *d = cells.read_payload(base + i);
             }
         });
     }
@@ -169,11 +133,7 @@ impl AtomicGrowCells {
     /// flight). Used to snapshot the frontier's pre-wave state.
     #[inline]
     pub fn read(&self, v: usize) -> (i64, NodeId, Dist) {
-        (
-            self.eff[v].load(Ordering::Relaxed),
-            self.center[v].load(Ordering::Relaxed),
-            self.true_dist[v].load(Ordering::Relaxed),
-        )
+        self.cells.read(v)
     }
 
     /// `true` if `v` was frozen when the cells were loaded.
@@ -189,7 +149,7 @@ impl AtomicGrowCells {
     /// in the previous wave.
     #[inline]
     pub fn settle(&self, v: usize) {
-        self.src[v].store(0, Ordering::Relaxed);
+        self.cells.settle(v);
     }
 
     /// Attempts to improve node `v` with the proposal
@@ -209,51 +169,10 @@ impl AtomicGrowCells {
         src_plus: NodeId,
         true_d: Dist,
     ) -> Proposed {
-        // Fast reject on a single relaxed load: `eff` is non-increasing over a
-        // cell's lifetime (every write strictly decreases the key), so any
-        // observed value upper-bounds the final one — if the proposal is
-        // already above it, it can never win. This is the common case in dense
-        // waves and skips the validated read entirely.
-        if eff > self.eff[v].load(Ordering::Relaxed) {
-            return Proposed::Rejected;
-        }
-        let seq = &self.seq[v];
-        loop {
-            let s = seq.load(Ordering::Acquire);
-            if s & 1 == 1 {
-                // A writer holds the cell; it is about to strictly decrease
-                // the key, so we must re-read before deciding anything.
-                std::hint::spin_loop();
-                continue;
-            }
-            let cur_eff = self.eff[v].load(Ordering::Relaxed);
-            let cur_center = self.center[v].load(Ordering::Relaxed);
-            let cur_src = self.src[v].load(Ordering::Relaxed);
-            // Order the field loads before the validating re-read of `seq`.
-            fence(Ordering::Acquire);
-            if seq.load(Ordering::Relaxed) != s {
-                continue; // torn read; retry
-            }
-            if (eff, center, src_plus) >= (cur_eff, cur_center, cur_src) {
-                return Proposed::Rejected;
-            }
-            // Acquire the cell: even -> odd. Success proves the fields did not
-            // change since the validated read (every write bumps `seq`), so
-            // the comparison above still holds and we can write immediately.
-            if seq.compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_ok() {
-                // Order the odd `seq` store before the field stores: without
-                // this store-store barrier a weakly-ordered machine could make
-                // a half-written field visible while `seq` still reads as the
-                // stale even value, letting a concurrent proposer validate a
-                // torn key and wrongly reject a winning proposal.
-                fence(Ordering::Release);
-                self.eff[v].store(eff, Ordering::Relaxed);
-                self.center[v].store(center, Ordering::Relaxed);
-                self.src[v].store(src_plus, Ordering::Relaxed);
-                self.true_dist[v].store(true_d, Ordering::Relaxed);
-                let newly_reached = cur_center == crate::state::NO_CENTER;
-                seq.store(s.wrapping_add(2), Ordering::Release);
-                return Proposed::Improved { newly_reached };
+        match self.cells.propose(v, eff, center, src_plus, true_d) {
+            None => Proposed::Rejected,
+            Some(prev_center) => {
+                Proposed::Improved { newly_reached: prev_center == crate::state::NO_CENTER }
             }
         }
     }
@@ -351,6 +270,6 @@ mod tests {
             }
         });
         assert_eq!(cells.read(0), (1, 0, 1));
-        assert_eq!(cells.src[0].load(Ordering::Relaxed), 1);
+        assert_eq!(cells.cells.read_key3(0), 1);
     }
 }

@@ -110,7 +110,7 @@ pub(crate) fn cluster_state(
         loop {
             let outcome = partial_growth(
                 graph,
-                run.delta as i64,
+                run.delta,
                 run.delta,
                 &mut run.state,
                 Some(target),

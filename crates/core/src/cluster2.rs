@@ -108,7 +108,7 @@ pub fn cluster2(graph: &Graph, config: &ClusterConfig) -> Clustering {
         // PartialGrowth2: grow until no state is updated.
         let outcome = partial_growth2(
             graph,
-            threshold as i64,
+            threshold,
             threshold,
             &mut state,
             config.max_growing_steps_per_phase,

@@ -90,7 +90,7 @@ mod tests {
     use cldiam_gen::{mesh, road_network, WeightModel};
     use cldiam_graph::Dist;
 
-    fn grow(graph: &Graph, threshold: i64, light_limit: Dist, state: &mut GrowState) {
+    fn grow(graph: &Graph, threshold: Dist, light_limit: Dist, state: &mut GrowState) {
         let mut scratch = GrowScratch::new();
         partial_growth(graph, threshold, light_limit, state, None, None, None, &mut scratch);
     }
@@ -105,7 +105,7 @@ mod tests {
         for &c in centers {
             state.set_center(c);
         }
-        grow(graph, delta as i64, delta, &mut state);
+        grow(graph, delta, delta, &mut state);
         let contracted = contract(graph, &state);
 
         // Logical second stage on the original graph: freeze, reset credits.
@@ -116,7 +116,7 @@ mod tests {
                 logical.set_source(u as NodeId, 0);
             }
         }
-        grow(graph, delta as i64, delta, &mut logical);
+        grow(graph, delta, delta, &mut logical);
 
         // Physical second stage on the contracted graph: centers restart at 0.
         let mut physical = GrowState::new(contracted.graph.num_nodes());
@@ -125,7 +125,7 @@ mod tests {
                 physical.set_center(i as NodeId);
             }
         }
-        grow(&contracted.graph, delta as i64, delta, &mut physical);
+        grow(&contracted.graph, delta, delta, &mut physical);
 
         // Every surviving uncovered node must have the same effective distance
         // in both executions.

@@ -121,6 +121,9 @@ impl ClDiam {
         }
     }
 
+    /// Diameter of the quotient graph: exact (batched all-pairs Dijkstra
+    /// through `cldiam_sssp::batch`) below the configured size threshold,
+    /// estimated with farthest-node sweep chains above it.
     fn quotient_diameter(&self, quotient: &QuotientGraph) -> (Dist, bool) {
         let q = &quotient.graph;
         if q.num_nodes() <= 1 {

@@ -44,7 +44,7 @@ use rayon::prelude::*;
 use cldiam_graph::{Dist, Graph, NodeId};
 
 use crate::atomic_state::{AtomicGrowCells, Proposed};
-use crate::state::{GrowState, NO_CENTER};
+use crate::state::{eff_below_threshold, eff_within_threshold, GrowState, NO_CENTER};
 
 /// Counters produced by a single Δ-growing step.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -134,7 +134,7 @@ impl GrowScratch {
     /// Executes one wave from `self.frontier`, leaving the sorted updated
     /// nodes in `self.next`. Returns the step counters and how many
     /// previously-unreached nodes were assigned for the first time.
-    fn wave(&mut self, graph: &Graph, threshold: i64, light_limit: Dist) -> (StepStats, u64) {
+    fn wave(&mut self, graph: &Graph, threshold: Dist, light_limit: Dist) -> (StepStats, u64) {
         // Snapshot the frontier's pre-wave state: proposals must be computed
         // from the state the wave started with, exactly like the two-phase
         // formulation, even though targets are updated concurrently.
@@ -153,7 +153,7 @@ impl GrowScratch {
             .map(|i| {
                 let mut tally = WaveTally::default();
                 let (eff_u, center_u, true_u) = snap[i];
-                if eff_u >= threshold || center_u == NO_CENTER {
+                if !eff_below_threshold(eff_u, threshold) || center_u == NO_CENTER {
                     return tally;
                 }
                 let u = frontier[i];
@@ -165,7 +165,7 @@ impl GrowScratch {
                         continue;
                     }
                     let cand = eff_u.saturating_add(wd as i64);
-                    if cand > threshold {
+                    if !eff_within_threshold(cand, threshold) {
                         continue;
                     }
                     tally.proposals += 1;
@@ -203,8 +203,12 @@ impl GrowScratch {
 
 /// Executes one Δ-growing step from `frontier`.
 ///
-/// * `threshold` — the growth threshold `Δ` (signed: `CLUSTER2` sources carry
-///   a rescaled, possibly negative credit).
+/// * `threshold` — the growth threshold `Δ`, an unsigned distance. Effective
+///   distances stay signed (`CLUSTER2` sources carry a rescaled, possibly
+///   negative credit) and are compared across the signedness boundary with
+///   [`eff_below_threshold`] / [`eff_within_threshold`], so a `Δ` past
+///   `i64::MAX` — reachable via Δ-doubling on massive heavy graphs — no
+///   longer wraps negative and silently stops growth.
 /// * `light_limit` — the maximum weight of a traversable (light) edge.
 ///
 /// Returns the nodes whose state changed (the next frontier) and the step
@@ -225,7 +229,7 @@ impl GrowScratch {
 /// state resident in the scratch's atomic cells across waves.
 pub fn delta_growing_step(
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
     frontier: &[NodeId],
@@ -252,7 +256,7 @@ pub fn delta_growing_step(
 /// Production code must use the in-place fast path.
 pub fn delta_growing_step_materialized(
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
     frontier: &[NodeId],
@@ -267,14 +271,14 @@ pub fn delta_growing_step_materialized(
             let center_u = state.center[u as usize];
             let true_u = state.true_dist[u as usize];
             let mut local = Vec::new();
-            if eff_u < threshold && center_u != NO_CENTER {
+            if eff_below_threshold(eff_u, threshold) && center_u != NO_CENTER {
                 for (v, w) in graph.neighbors(u) {
                     let wd = Dist::from(w);
                     if wd > light_limit || state.frozen[v as usize] {
                         continue;
                     }
                     let cand = eff_u.saturating_add(wd as i64);
-                    if cand <= threshold {
+                    if eff_within_threshold(cand, threshold) {
                         local.push((v, cand, center_u, true_u.saturating_add(wd)));
                     }
                 }
@@ -317,7 +321,7 @@ pub fn delta_growing_step_materialized(
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list plus the threaded scratch
 pub fn partial_growth(
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
     stop_at_reached: Option<usize>,
@@ -339,11 +343,10 @@ pub fn partial_growth(
     // Initial frontier: every potential source, in ascending node order.
     scratch.ensure(state.len());
     scratch.frontier.clear();
-    scratch.frontier.extend(
-        (0..state.len() as NodeId).filter(|&u| {
-            state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER
-        }),
-    );
+    scratch.frontier.extend((0..state.len() as NodeId).filter(|&u| {
+        eff_below_threshold(state.eff[u as usize], threshold)
+            && state.center[u as usize] != NO_CENTER
+    }));
     if scratch.frontier.is_empty() {
         return outcome;
     }
@@ -381,7 +384,7 @@ pub fn partial_growth(
 /// `CLUSTER2`.
 pub fn partial_growth2(
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
     max_steps: Option<usize>,
@@ -405,7 +408,7 @@ mod tests {
 
     fn grow(
         graph: &Graph,
-        threshold: i64,
+        threshold: Dist,
         light_limit: Dist,
         state: &mut GrowState,
         stop_at_reached: Option<usize>,
@@ -427,7 +430,7 @@ mod tests {
 
     fn step(
         graph: &Graph,
-        threshold: i64,
+        threshold: Dist,
         light_limit: Dist,
         state: &mut GrowState,
         frontier: &[NodeId],
@@ -514,22 +517,16 @@ mod tests {
             fast.set_center(c);
             reference.set_center(c);
         }
-        let threshold = 3 * i64::from(cldiam_graph::WEIGHT_SCALE);
+        let threshold = 3 * Dist::from(cldiam_graph::WEIGHT_SCALE);
         let mut scratch = GrowScratch::new();
         let mut frontier = vec![0, 17, 35];
         for _ in 0..16 {
-            let (fast_up, fast_stats) = delta_growing_step(
-                &g,
-                threshold,
-                threshold as Dist,
-                &mut fast,
-                &frontier,
-                &mut scratch,
-            );
+            let (fast_up, fast_stats) =
+                delta_growing_step(&g, threshold, threshold, &mut fast, &frontier, &mut scratch);
             let (ref_up, ref_stats) = delta_growing_step_materialized(
                 &g,
                 threshold,
-                threshold as Dist,
+                threshold,
                 &mut reference,
                 &frontier,
             );
@@ -595,13 +592,42 @@ mod tests {
         let mut a = init_state_with_center(g.num_nodes(), 0);
         let mut b = init_state_with_center(g.num_nodes(), 0);
         let mut scratch = GrowScratch::new();
-        let threshold = i64::MAX - 1;
+        let threshold = Dist::MAX;
         let out_a =
             partial_growth(&g, threshold, Dist::MAX, &mut a, None, None, None, &mut scratch);
         let out_b = partial_growth2(&g, threshold, Dist::MAX, &mut b, None, None, &mut scratch);
         assert_eq!(out_a, out_b);
         assert_eq!(a.eff, b.eff);
         assert_eq!(a.center, b.center);
+    }
+
+    #[test]
+    fn threshold_past_i64_max_still_grows() {
+        // Regression for the signed-Δ overflow: Δ-doubling caps at
+        // 2·total_weight, which can exceed i64::MAX on massive heavy graphs.
+        // The old `run.delta as i64` cast wrapped such a Δ negative, making
+        // every frontier node fail the threshold test and silently stopping
+        // all growth. With the unsigned threshold the growth must proceed
+        // exactly as with any other huge Δ.
+        let g = weighted_path(&[1, 1, 1]);
+        let threshold: Dist = i64::MAX as Dist + 12_345;
+        let mut s = init_state_with_center(4, 0);
+        let outcome = grow(&g, threshold, Dist::MAX, &mut s, None, None, None);
+        assert_eq!(outcome.reached_unfrozen, 4, "growth stopped under a Δ past i64::MAX");
+        assert_eq!(s.true_dist[3], 3);
+        // The materialized reference must agree wave by wave.
+        let mut r = init_state_with_center(4, 0);
+        let (updated, stats) =
+            delta_growing_step_materialized(&g, threshold, Dist::MAX, &mut r, &[0]);
+        assert_eq!(updated, vec![1]);
+        assert_eq!(stats.updates, 1);
+        // CLUSTER2-style negative credits keep working against the same Δ.
+        let mut s2 = init_state_with_center(4, 0);
+        s2.freeze_reached();
+        s2.set_source(0, -7);
+        let outcome2 = grow(&g, threshold, Dist::MAX, &mut s2, None, None, None);
+        assert_eq!(outcome2.reached_unfrozen, 3);
+        assert_eq!(s2.eff[3], -4);
     }
 
     #[test]
@@ -622,7 +648,7 @@ mod tests {
         // exact shortest-path distances.
         let g = cldiam_gen::mesh(8, cldiam_gen::WeightModel::UniformUnit, 3);
         let mut s = init_state_with_center(g.num_nodes(), 0);
-        grow(&g, i64::MAX - 1, Dist::MAX, &mut s, None, None, None);
+        grow(&g, Dist::MAX, Dist::MAX, &mut s, None, None, None);
         let sp = cldiam_sssp::dijkstra(&g, 0);
         for u in 0..g.num_nodes() {
             assert_eq!(s.true_dist[u], sp.dist[u], "node {u}");

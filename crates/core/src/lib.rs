@@ -61,4 +61,4 @@ pub use growing::{
     GrowScratch, GrowthOutcome, StepStats,
 };
 pub use quotient::{quotient_graph, QuotientGraph};
-pub use state::{GrowState, EFF_INFINITY, NO_CENTER};
+pub use state::{eff_below_threshold, eff_within_threshold, GrowState, EFF_INFINITY, NO_CENTER};

@@ -15,7 +15,7 @@ use cldiam_mr::MrEngine;
 
 use cldiam_graph::{Dist, Graph, NodeId};
 
-use crate::state::{GrowState, NO_CENTER};
+use crate::state::{eff_below_threshold, eff_within_threshold, GrowState, NO_CENTER};
 
 /// One relaxation proposal shuffled to the reducer responsible for `target`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +44,7 @@ impl Proposal {
 pub fn mr_delta_growing_step(
     engine: &MrEngine,
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
     frontier: &[NodeId],
@@ -56,7 +56,7 @@ pub fn mr_delta_growing_step(
     for &u in frontier {
         let eff_u = state.eff[u as usize];
         let center_u = state.center[u as usize];
-        if eff_u >= threshold || center_u == NO_CENTER {
+        if !eff_below_threshold(eff_u, threshold) || center_u == NO_CENTER {
             continue;
         }
         for (v, w) in graph.neighbors(u) {
@@ -65,7 +65,7 @@ pub fn mr_delta_growing_step(
                 continue;
             }
             let cand = eff_u.saturating_add(wd as i64);
-            if cand <= threshold {
+            if eff_within_threshold(cand, threshold) {
                 pairs.push((
                     v,
                     Proposal {
@@ -117,12 +117,15 @@ pub fn mr_delta_growing_step(
 pub fn mr_partial_growth(
     engine: &MrEngine,
     graph: &Graph,
-    threshold: i64,
+    threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
 ) -> u64 {
     let mut frontier: Vec<NodeId> = (0..state.len() as NodeId)
-        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .filter(|&u| {
+            eff_below_threshold(state.eff[u as usize], threshold)
+                && state.center[u as usize] != NO_CENTER
+        })
         .collect();
     let mut rounds = 0;
     while !frontier.is_empty() {
@@ -143,7 +146,7 @@ mod tests {
         MrEngine::new(MrConfig::with_machines(4))
     }
 
-    fn assert_equivalent(graph: &Graph, centers: &[NodeId], threshold: i64, light_limit: Dist) {
+    fn assert_equivalent(graph: &Graph, centers: &[NodeId], threshold: Dist, light_limit: Dist) {
         let mut fast = GrowState::new(graph.num_nodes());
         let mut slow = GrowState::new(graph.num_nodes());
         for &c in centers {

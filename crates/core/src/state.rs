@@ -35,6 +35,29 @@ pub const NO_CENTER: NodeId = NodeId::MAX;
 /// Sentinel for an infinite effective distance.
 pub const EFF_INFINITY: i64 = i64::MAX;
 
+/// `true` when the (signed) effective distance `eff` lies strictly below the
+/// (unsigned) growth threshold `Δ`.
+///
+/// The growth threshold is a distance — [`Dist`], unsigned — while effective
+/// distances are signed because `CLUSTER2` sources carry a rescaled, possibly
+/// negative credit. Comparing the two by casting `Δ` to `i64` wraps negative
+/// once Δ-doubling pushes `Δ` past `i64::MAX` (the doubling cap is
+/// `2 · total_weight`, reachable on massive heavy graphs) and silently stops
+/// all growth; these helpers compare across the signedness boundary instead.
+/// [`EFF_INFINITY`] ("unreached") is never below any threshold.
+#[inline]
+pub fn eff_below_threshold(eff: i64, threshold: Dist) -> bool {
+    eff != EFF_INFINITY && (eff < 0 || (eff as Dist) < threshold)
+}
+
+/// `true` when `eff` lies at or below the threshold `Δ` — the admissibility
+/// test for a relaxation candidate `d_u + w(u, v) ≤ Δ`. See
+/// [`eff_below_threshold`] for the signedness contract.
+#[inline]
+pub fn eff_within_threshold(eff: i64, threshold: Dist) -> bool {
+    eff != EFF_INFINITY && (eff < 0 || (eff as Dist) <= threshold)
+}
+
 /// Mutable growth state over the original node set.
 #[derive(Clone, Debug)]
 pub struct GrowState {
@@ -178,6 +201,24 @@ mod tests {
         assert_eq!(s.center[1], 0);
         assert_eq!(s.center[2], NO_CENTER);
         assert_eq!(s.uncovered_nodes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn threshold_comparisons_cross_the_signedness_boundary() {
+        // Negative CLUSTER2 credits are below every positive threshold.
+        assert!(eff_below_threshold(-5, 1));
+        assert!(eff_below_threshold(0, 1));
+        assert!(!eff_below_threshold(1, 1));
+        assert!(eff_within_threshold(1, 1));
+        assert!(!eff_within_threshold(2, 1));
+        // Thresholds past i64::MAX (the old `as i64` wrap) still admit every
+        // finite effective distance…
+        let past_i64 = i64::MAX as Dist + 7;
+        assert!(eff_below_threshold(i64::MAX - 1, past_i64));
+        assert!(eff_within_threshold(i64::MAX - 1, past_i64));
+        // …but the "unreached" sentinel is never below any threshold.
+        assert!(!eff_below_threshold(EFF_INFINITY, Dist::MAX));
+        assert!(!eff_within_threshold(EFF_INFINITY, Dist::MAX));
     }
 
     #[test]

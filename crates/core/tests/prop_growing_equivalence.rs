@@ -66,7 +66,7 @@ fn init_state(
     center_sel: &[usize],
     prefreeze: bool,
     credit: i64,
-    threshold: i64,
+    threshold: Dist,
 ) -> GrowState {
     let n = graph.num_nodes();
     let mut state = GrowState::new(n);
@@ -84,7 +84,7 @@ fn init_state(
             let (updated, _) = delta_growing_step_materialized(
                 graph,
                 threshold / 2,
-                (threshold / 2).max(1) as Dist,
+                (threshold / 2).max(1),
                 &mut state,
                 &frontier,
             );
@@ -103,13 +103,16 @@ fn init_state(
     state
 }
 
-fn initial_frontier(state: &GrowState, threshold: i64) -> Vec<NodeId> {
+fn initial_frontier(state: &GrowState, threshold: Dist) -> Vec<NodeId> {
     (0..state.len() as NodeId)
-        .filter(|&u| state.eff[u as usize] < threshold && state.center[u as usize] != NO_CENTER)
+        .filter(|&u| {
+            cldiam_core::eff_below_threshold(state.eff[u as usize], threshold)
+                && state.center[u as usize] != NO_CENTER
+        })
         .collect()
 }
 
-fn run_in_place(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+fn run_in_place(graph: &Graph, threshold: Dist, light_limit: Dist, init: &GrowState) -> Trace {
     let mut state = init.clone();
     let mut scratch = GrowScratch::new();
     let mut frontier = initial_frontier(&state, threshold);
@@ -126,7 +129,7 @@ fn run_in_place(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowSta
     Trace { waves, eff: state.eff, center: state.center, true_dist: state.true_dist }
 }
 
-fn run_materialized(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+fn run_materialized(graph: &Graph, threshold: Dist, light_limit: Dist, init: &GrowState) -> Trace {
     let mut state = init.clone();
     let mut frontier = initial_frontier(&state, threshold);
     let mut waves = Vec::new();
@@ -142,7 +145,7 @@ fn run_materialized(graph: &Graph, threshold: i64, light_limit: Dist, init: &Gro
     Trace { waves, eff: state.eff, center: state.center, true_dist: state.true_dist }
 }
 
-fn run_mapreduce(graph: &Graph, threshold: i64, light_limit: Dist, init: &GrowState) -> Trace {
+fn run_mapreduce(graph: &Graph, threshold: Dist, light_limit: Dist, init: &GrowState) -> Trace {
     let mut state = init.clone();
     let engine = MrEngine::new(MrConfig::with_machines(4));
     let mut frontier = initial_frontier(&state, threshold);
@@ -180,10 +183,10 @@ proptest! {
         prefreeze_raw in 0u32..2,
         credit_raw in 0u64..=15,
     ) {
-        let threshold = threshold_raw as i64;
+        let threshold: Dist = threshold_raw;
         let prefreeze = prefreeze_raw == 1;
         let credit = -(credit_raw as i64);
-        let light_limit = threshold as Dist;
+        let light_limit = threshold;
         let init = init_state(&graph, &center_sel, prefreeze, credit, threshold);
 
         let reference = with_pool(THREAD_COUNTS[0], || {

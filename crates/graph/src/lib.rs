@@ -5,6 +5,9 @@
 //! * [`Graph`] — an immutable compressed-sparse-row (CSR) representation of a
 //!   weighted undirected graph with `u32` node identifiers and positive
 //!   integer edge weights (see [`Weight`], [`Dist`]).
+//! * [`atomic`] — unsafe-free atomic fetch-min cells: single-word
+//!   [`MinDistCells`] for SSSP relaxation and the multi-word seqlock
+//!   [`SeqMinCells`] behind the Δ-growing hot path in `cldiam-core`.
 //! * [`GraphBuilder`] — an edge-list accumulator that deduplicates, removes
 //!   self loops, symmetrizes and produces a [`Graph`].
 //! * [`components`] — connected components (sequential union-find and a
@@ -25,6 +28,7 @@
 //! that are "born unweighted" get uniform random weights in `(0, 1]` which we
 //! represent in fixed point with scale [`WEIGHT_SCALE`].
 
+pub mod atomic;
 pub mod builder;
 pub mod components;
 pub mod csr;
@@ -35,6 +39,7 @@ pub mod stats;
 pub mod traversal;
 pub mod weight;
 
+pub use atomic::{MinDistCells, SeqMinCells};
 pub use builder::GraphBuilder;
 pub use components::{
     component_subgraphs, connected_components, largest_component, ComponentLabels,

@@ -1,0 +1,262 @@
+//! Batched multi-source shortest paths.
+//!
+//! The paper's evaluation leans on *iterated* SSSP: the exact diameter and
+//! the eccentricity ablations run one Dijkstra per node, the lower-bound
+//! normalization runs chains of farthest-node sweeps, and the benchmark
+//! harness sweeps Δ-stepping over a grid of bucket widths. Allocating full
+//! per-source state (`dist` / `hops` / `parent` vectors plus a heap) for
+//! every one of those runs dominates the runtime on small and medium graphs.
+//!
+//! This module provides the shared engine those drivers batch through:
+//!
+//! * [`DijkstraScratch`] — a reusable distance array + binary heap. Repeated
+//!   runs are allocation-free after warm-up: the distance array is reset via
+//!   the run's reached list (`O(reached)`, never `O(n)`) and the heap keeps
+//!   its capacity. It intentionally tracks distances only — no hop counts or
+//!   parent pointers — because none of the batched consumers need them; use
+//!   [`crate::dijkstra::dijkstra`] for the full shortest-path tree.
+//! * [`ScratchPool`] — a lock-guarded free list of scratches shared by the
+//!   rayon workers of a batch, so a batch over `k` sources allocates
+//!   `O(min(k, threads))` scratches instead of `k`.
+//! * [`multi_source_dijkstra`] / [`batched_eccentricities`] — the parallel
+//!   drivers consumed by `exact_diameter`, `all_eccentricities`, the
+//!   per-component sweep chains of `diameter_lower_bound`, and (through
+//!   `exact_diameter`) the quotient-diameter stage of `CL-DIAM`.
+//!
+//! Every quantity read out of a scratch ([`DijkstraScratch::eccentricity`],
+//! [`DijkstraScratch::farthest_node`]) is a pure function of the source and
+//! the graph, so batches are bit-identical at any thread count regardless of
+//! which worker's scratch served which source.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+
+/// Reusable single-source shortest-path state: tentative distances, the
+/// Dijkstra heap, and the reached list used for `O(reached)` resets.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    dist: Vec<Dist>,
+    heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
+    reached: Vec<NodeId>,
+}
+
+impl DijkstraScratch {
+    /// Fresh scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, INFINITY);
+        }
+    }
+
+    /// Runs Dijkstra from `source`, leaving the distances resident in the
+    /// scratch (read them with [`DijkstraScratch::distance`] /
+    /// [`DijkstraScratch::eccentricity`] / [`DijkstraScratch::farthest_node`]
+    /// until the next run). The previous run's state is reset in
+    /// `O(previously reached)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `source` is not a node of `graph`.
+    pub fn run(&mut self, graph: &Graph, source: NodeId) {
+        let n = graph.num_nodes();
+        assert!((source as usize) < n, "source {source} out of range (n = {n})");
+        self.ensure(n);
+        for v in self.reached.drain(..) {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.heap.clear();
+
+        self.dist[source as usize] = 0;
+        self.reached.push(source);
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue; // stale entry
+            }
+            for (v, w) in graph.neighbors(u) {
+                let candidate = d + Dist::from(w);
+                if candidate < self.dist[v as usize] {
+                    if self.dist[v as usize] == INFINITY {
+                        self.reached.push(v);
+                    }
+                    self.dist[v as usize] = candidate;
+                    self.heap.push(Reverse((candidate, v)));
+                }
+            }
+        }
+    }
+
+    /// Distance of `v` from the most recent run's source ([`INFINITY`] if
+    /// unreachable).
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Dist {
+        self.dist[v as usize]
+    }
+
+    /// Number of nodes reached by the most recent run (including the source).
+    pub fn reached(&self) -> usize {
+        self.reached.len()
+    }
+
+    /// Largest finite distance of the most recent run — the weighted
+    /// eccentricity of its source within its component. `O(reached)`.
+    pub fn eccentricity(&self) -> Dist {
+        self.reached.iter().map(|&v| self.dist[v as usize]).max().unwrap_or(0)
+    }
+
+    /// The node realizing [`DijkstraScratch::eccentricity`], with the same
+    /// tie-break as [`crate::dijkstra::ShortestPaths::farthest_node`] (the
+    /// largest node id among equally-far nodes), so sweep chains driven
+    /// through a scratch follow the identical node sequence. Returns the
+    /// source itself for a singleton component.
+    pub fn farthest_node(&self) -> NodeId {
+        self.reached
+            .iter()
+            .map(|&v| (self.dist[v as usize], v))
+            .max()
+            .map(|(_, v)| v)
+            .expect("farthest_node requires a completed run")
+    }
+}
+
+/// A free list of [`DijkstraScratch`]es shared across the workers of a batch.
+/// `with` hands a scratch to the closure, creating one only when every
+/// existing scratch is in use — so a parallel batch allocates one scratch per
+/// *concurrently active* worker, not per source.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    pool: Mutex<Vec<DijkstraScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with a pooled scratch, returning the scratch afterwards.
+    pub fn with<R>(&self, f: impl FnOnce(&mut DijkstraScratch) -> R) -> R {
+        let mut scratch =
+            self.pool.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        let result = f(&mut scratch);
+        self.pool.lock().expect("scratch pool poisoned").push(scratch);
+        result
+    }
+}
+
+/// Runs one Dijkstra per source, in parallel over a shared [`ScratchPool`],
+/// and maps each completed run through `f` (eccentricity, farthest node,
+/// any distance reads). Results are returned in source order and are
+/// bit-identical at any thread count.
+pub fn multi_source_dijkstra<T: Send>(
+    graph: &Graph,
+    sources: &[NodeId],
+    f: impl Fn(NodeId, &DijkstraScratch) -> T + Sync,
+) -> Vec<T> {
+    let pool = ScratchPool::new();
+    sources
+        .par_iter()
+        .map(|&source| {
+            pool.with(|scratch| {
+                scratch.run(graph, source);
+                f(source, scratch)
+            })
+        })
+        .collect()
+}
+
+/// Weighted eccentricity of every source, computed as one batched
+/// multi-source Dijkstra over a shared scratch pool. Equivalent to (and
+/// pinned against) the per-source loop
+/// `sources.map(|s| dijkstra(graph, s).eccentricity())`, without the
+/// per-source state allocations.
+pub fn batched_eccentricities(graph: &Graph, sources: &[NodeId]) -> Vec<Dist> {
+    multi_source_dijkstra(graph, sources, |_, scratch| scratch.eccentricity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use cldiam_gen::{mesh, WeightModel};
+
+    #[test]
+    fn scratch_matches_full_dijkstra_across_reused_runs() {
+        let g = mesh(8, WeightModel::UniformUnit, 4);
+        let mut scratch = DijkstraScratch::new();
+        for source in [0u32, 17, 63, 0] {
+            scratch.run(&g, source);
+            let sp = dijkstra(&g, source);
+            for v in 0..g.num_nodes() as NodeId {
+                assert_eq!(scratch.distance(v), sp.dist[v as usize], "source {source} node {v}");
+            }
+            assert_eq!(scratch.eccentricity(), sp.eccentricity());
+            assert_eq!(scratch.farthest_node(), sp.farthest_node());
+            assert_eq!(scratch.reached(), sp.reached());
+        }
+    }
+
+    #[test]
+    fn scratch_resets_between_graphs_of_different_sizes() {
+        let big = mesh(6, WeightModel::UniformUnit, 1);
+        let small = cldiam_graph::Graph::from_edges(3, &[(0, 1, 4)]);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&big, 0);
+        scratch.run(&small, 0);
+        assert_eq!(scratch.distance(1), 4);
+        assert_eq!(scratch.distance(2), INFINITY);
+        assert_eq!(scratch.eccentricity(), 4);
+        assert_eq!(scratch.reached(), 2);
+    }
+
+    #[test]
+    fn farthest_node_breaks_ties_like_the_full_dijkstra() {
+        // Nodes 1 and 2 are both at distance 5; the larger id must win, as in
+        // ShortestPaths::farthest_node.
+        let g = cldiam_graph::Graph::from_edges(3, &[(0, 1, 5), (0, 2, 5)]);
+        let mut scratch = DijkstraScratch::new();
+        scratch.run(&g, 0);
+        assert_eq!(scratch.farthest_node(), 2);
+        assert_eq!(scratch.farthest_node(), dijkstra(&g, 0).farthest_node());
+    }
+
+    #[test]
+    fn batched_eccentricities_match_the_sequential_loop() {
+        let g = mesh(7, WeightModel::UniformUnit, 9);
+        let sources: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+        let batched = batched_eccentricities(&g, &sources);
+        let sequential: Vec<Dist> =
+            sources.iter().map(|&s| dijkstra(&g, s).eccentricity()).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn multi_source_results_come_back_in_source_order() {
+        let g = mesh(5, WeightModel::UniformUnit, 2);
+        let sources = [24u32, 0, 12];
+        let tagged = multi_source_dijkstra(&g, &sources, |s, scratch| (s, scratch.distance(s)));
+        assert_eq!(tagged, vec![(24, 0), (0, 0), (12, 0)]);
+    }
+
+    #[test]
+    fn pool_reuses_scratches() {
+        let pool = ScratchPool::new();
+        let g = mesh(4, WeightModel::UniformUnit, 1);
+        pool.with(|s| s.run(&g, 0));
+        // The second borrow must see the pooled (already warmed) scratch.
+        pool.with(|s| {
+            assert!(s.reached() > 0);
+            s.run(&g, 3);
+            assert_eq!(s.distance(3), 0);
+        });
+    }
+}

@@ -8,18 +8,58 @@
 //! once. Small `Δ` approaches Dijkstra (little work, many phases); large `Δ`
 //! approaches Bellman-Ford (few phases, much work).
 //!
+//! # The bucket ring
+//!
+//! The production engine ([`delta_stepping`] /
+//! [`delta_stepping_with_scratch`]) keeps the buckets in a *cyclic array*
+//! rather than an ordered map: bucket `b` lives in ring slot
+//! `b mod ring_size`, where `ring_size` covers the largest bucket jump a
+//! single relaxation can make (`⌈max_weight / Δ⌉ + 1`, capped). Because every
+//! relaxation from bucket `b` lands in a bucket `≥ b`, the slot of a settled
+//! bucket is empty before any later bucket with the same residue can be
+//! filled, so slots are never shared between live buckets. Entries whose
+//! bucket index lies beyond the ring horizon go to an overflow list and are
+//! pulled back in (lazily, tracked by the minimum overflow bucket) as the
+//! frontier advances. All of this state lives in a reusable [`SsspScratch`]:
+//! tentative distances in atomic fetch-min cells
+//! ([`cldiam_graph::atomic::MinDistCells`], the same unsafe-free CAS
+//! machinery the Δ-growing hot path relaxes through), the ring, and the
+//! touched bookkeeping — so repeated runs (multi-source batches, Δ-grid
+//! sweeps) perform no per-run allocations beyond the returned distance
+//! vector, and resets cost `O(reached)`, never `O(n)`.
+//!
+//! # Determinism
+//!
+//! Relaxation requests of a phase are generated in parallel from a pre-phase
+//! snapshot of the frontier's distances and applied *in place* with an atomic
+//! `fetch_min` per target. A `min` is commutative and associative, so the
+//! post-phase distance of every node — and therefore the set of improved
+//! nodes, the bucket structure, and every counter below — is a pure function
+//! of the pre-phase state: the output is bit-identical at any thread count
+//! and matches the sequential reference. The per-phase improved set is
+//! collected through a touched-bitmap exactly like the Δ-growing scratch and
+//! re-bucketed sequentially in ascending node order.
+//!
 //! In the MapReduce cost model adopted by the paper, each light-relaxation
 //! sub-phase and each heavy-relaxation phase is one round; the messages are
 //! the relaxation requests generated and the node updates are the tentative
 //! distance improvements applied. These are charged to an optional
-//! [`CostTracker`] and also returned in the [`DeltaSteppingOutcome`].
+//! [`CostTracker`] and also returned in the [`DeltaSteppingOutcome`]. One
+//! deliberate difference from the map-based reference
+//! ([`delta_stepping_reference`], kept in-tree for the equivalence suites):
+//! `updates` counts *distinct nodes improved per phase* — a
+//! scheduling-independent quantity, the same semantics as the growing path's
+//! `StepStats::updates` — where the reference counted every improving
+//! request of its sequential apply loop. Distances and `phases` are pinned
+//! bit-identical between the two by the property tests.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, Graph, NodeId, Weight, INFINITY};
+use cldiam_graph::{Dist, Graph, MinDistCells, NodeId, Weight, INFINITY};
 
 /// Result of a Δ-stepping run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,7 +74,9 @@ pub struct DeltaSteppingOutcome {
     pub phases: u64,
     /// Number of relaxation requests generated (messages).
     pub relaxations: u64,
-    /// Number of tentative-distance improvements applied (node updates).
+    /// Number of tentative-distance improvements applied (node updates). The
+    /// bucket-array engine counts distinct improved nodes per phase (see the
+    /// module docs); the reference counts improving requests.
     pub updates: u64,
 }
 
@@ -56,6 +98,12 @@ impl DeltaSteppingOutcome {
 /// recombination keeps the output identical either way.
 const PAR_MIN_FRONTIER: usize = 32;
 
+/// Upper bound on the cyclic bucket array length. A ring of
+/// `⌈max_weight / Δ⌉ + 1` slots makes the overflow list unreachable, but for
+/// tiny `Δ` on heavy graphs that is absurdly large; beyond this cap, far
+/// relaxations take the overflow path instead.
+const RING_CAP: usize = 1024;
+
 /// A reasonable default bucket width: the average edge weight (clamped to at
 /// least 1). The benchmark harness additionally sweeps `Δ` over a grid and
 /// keeps the best-performing value, as the paper does.
@@ -63,17 +111,408 @@ pub fn suggest_delta(graph: &Graph) -> Weight {
     graph.avg_weight().unwrap_or(1).max(1)
 }
 
-/// Runs Δ-stepping from `source` with bucket width `delta`.
+/// Reusable state for the bucket-array Δ-stepping engine: atomic tentative
+/// distances, the cyclic bucket ring with its overflow list, and the
+/// touched/settled bookkeeping. One scratch serves any number of runs, on
+/// graphs of any size (buffers grow monotonically and resets touch only what
+/// the previous run reached) — allocate it once per worker and thread it
+/// through every [`delta_stepping_with_scratch`] call.
+#[derive(Debug, Default)]
+pub struct SsspScratch {
+    /// Tentative distances in atomic fetch-min cells.
+    dist: MinDistCells,
+    /// `true` while a node holds a finite tentative distance this run.
+    seen: Vec<bool>,
+    /// Every node reached this run, for the `O(reached)` reset.
+    reached: Vec<NodeId>,
+    /// The cyclic bucket array: bucket `b` lives in slot `b % ring.len()`.
+    ring: Vec<Vec<NodeId>>,
+    /// Entries queued across all ring slots.
+    ring_len: usize,
+    /// Entries whose bucket lies beyond the ring horizon.
+    overflow: Vec<NodeId>,
+    /// Per-phase "already collected as improved" marks.
+    touched: Vec<AtomicBool>,
+    /// Collection buffer for a phase's improved nodes.
+    slots: Vec<AtomicU32>,
+    /// Number of valid entries in `slots` for the current phase.
+    slot_len: AtomicUsize,
+    /// Current phase's frontier after lazy deletion.
+    active: Vec<NodeId>,
+    /// Raw entries drained from the current bucket slot.
+    pending: Vec<NodeId>,
+    /// Sorted improved nodes of the last phase.
+    improved: Vec<NodeId>,
+    /// Nodes settled in the current bucket (relaxed at least once as light
+    /// frontier), deduplicated via `in_settled`.
+    settled: Vec<NodeId>,
+    in_settled: Vec<bool>,
+    /// Pre-phase distance snapshot of `active` / `settled`.
+    snap: Vec<Dist>,
+}
+
+impl SsspScratch {
+    /// Fresh scratch; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch pre-sized for graphs with `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut scratch = Self::default();
+        scratch.ensure(n);
+        scratch
+    }
+
+    fn ensure(&mut self, n: usize) {
+        self.dist.ensure(n);
+        if self.seen.len() < n {
+            self.seen.resize(n, false);
+            self.in_settled.resize(n, false);
+            let grow = n - self.touched.len();
+            self.touched.reserve(grow);
+            self.slots.reserve(grow);
+            while self.touched.len() < n {
+                self.touched.push(AtomicBool::new(false));
+                self.slots.push(AtomicU32::new(0));
+            }
+        }
+    }
+
+    /// Resets the previous run's tentative distances — `O(reached)`.
+    fn reset(&mut self) {
+        for v in self.reached.drain(..) {
+            self.dist.store(v as usize, INFINITY);
+            self.seen[v as usize] = false;
+        }
+        for slot in &mut self.ring {
+            slot.clear();
+        }
+        self.ring_len = 0;
+        self.overflow.clear();
+    }
+
+    /// Tentative distance of `v` from the most recent run ([`INFINITY`] if
+    /// unreachable). Valid until the next run on this scratch.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Dist {
+        self.dist.load(v as usize)
+    }
+
+    /// Largest finite distance of the most recent run — the weighted
+    /// eccentricity of its source. `O(reached)`.
+    pub fn eccentricity(&self) -> Dist {
+        self.reached.iter().map(|&v| self.dist.load(v as usize)).max().unwrap_or(0)
+    }
+
+    /// Copies the most recent run's distances for a graph of `n` nodes into a
+    /// fresh vector.
+    fn export_dist(&self, n: usize) -> Vec<Dist> {
+        (0..n).map(|v| self.dist.load(v)).collect()
+    }
+
+    /// Sorts the improved nodes of the finished phase into `improved`, clears
+    /// their phase marks, and registers first-time reaches. Returns how many
+    /// nodes were improved.
+    fn collect_improved(&mut self) -> usize {
+        let count = self.slot_len.swap(0, Ordering::Relaxed);
+        self.improved.clear();
+        self.improved.extend(self.slots[..count].iter().map(|slot| slot.load(Ordering::Relaxed)));
+        self.improved.sort_unstable();
+        for &v in &self.improved {
+            self.touched[v as usize].store(false, Ordering::Relaxed);
+            if !self.seen[v as usize] {
+                self.seen[v as usize] = true;
+                self.reached.push(v);
+            }
+        }
+        count
+    }
+}
+
+/// One parallel relaxation phase: for every frontier index `i`, relax the
+/// light (`heavy == false`) or heavy (`heavy == true`) edges of
+/// `active[i]` from the snapshot distance `snap[i]`, fetch-min-ing targets in
+/// place and collecting first-improvements-of-the-phase through the touched
+/// bitmap. Returns the number of relaxation requests generated.
+#[allow(clippy::too_many_arguments)] // hot loop over destructured scratch fields
+fn relax_phase(
+    graph: &Graph,
+    active: &[NodeId],
+    snap: &[Dist],
+    delta_dist: Dist,
+    heavy: bool,
+    dist: &MinDistCells,
+    touched: &[AtomicBool],
+    slots: &[AtomicU32],
+    slot_len: &AtomicUsize,
+) -> u64 {
+    (0..active.len())
+        .into_par_iter()
+        .with_min_len(PAR_MIN_FRONTIER)
+        .map(|i| {
+            let u = active[i];
+            let du = snap[i];
+            let mut requests = 0u64;
+            let (targets, weights) = graph.neighbor_slices(u);
+            for (&v, &w) in targets.iter().zip(weights) {
+                let wd = Dist::from(w);
+                if (wd > delta_dist) != heavy {
+                    continue;
+                }
+                requests += 1;
+                let cand = du + wd;
+                let prev = dist.fetch_min(v as usize, cand);
+                if prev > cand && !touched[v as usize].swap(true, Ordering::Relaxed) {
+                    let slot = slot_len.fetch_add(1, Ordering::Relaxed);
+                    slots[slot].store(v, Ordering::Relaxed);
+                }
+            }
+            requests
+        })
+        .sum()
+}
+
+/// Runs Δ-stepping from `source` with bucket width `delta` on the cyclic
+/// bucket-array engine, reusing `scratch` across calls.
 ///
-/// Light-edge relaxation requests are generated in parallel (rayon) and
-/// applied with a deterministic min-reduction, so the distance output is
-/// independent of the number of threads. Cost metrics are charged to
-/// `tracker` when provided.
+/// Light-edge relaxation requests are generated in parallel (rayon) from a
+/// pre-phase snapshot and applied with atomic fetch-min cells, so the
+/// distance output — and every counter — is independent of the number of
+/// threads (see the module docs). Cost metrics are charged to `tracker` when
+/// provided.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `delta` is zero.
+pub fn delta_stepping_with_scratch(
+    graph: &Graph,
+    source: NodeId,
+    delta: Weight,
+    tracker: Option<&CostTracker>,
+    scratch: &mut SsspScratch,
+) -> DeltaSteppingOutcome {
+    let n = graph.num_nodes();
+    assert!((source as usize) < n, "source {source} out of range (n = {n})");
+    assert!(delta >= 1, "delta must be positive");
+    let delta_dist = Dist::from(delta);
+
+    scratch.ensure(n);
+    scratch.reset();
+
+    // Size the ring to the largest single-relaxation bucket jump (capped);
+    // a larger ring from an earlier run is kept — it only reduces overflow.
+    let max_jump = Dist::from(graph.max_weight().unwrap_or(1)) / delta_dist + 2;
+    let desired = usize::try_from(max_jump).unwrap_or(RING_CAP).min(RING_CAP);
+    if scratch.ring.len() < desired {
+        scratch.ring.resize_with(desired, Vec::new);
+    }
+    let ring_size = scratch.ring.len() as u64;
+
+    let mut phases = 0u64;
+    let mut relaxations = 0u64;
+    let mut updates = 0u64;
+
+    scratch.dist.store(source as usize, 0);
+    scratch.seen[source as usize] = true;
+    scratch.reached.push(source);
+    scratch.ring[0].push(source);
+    scratch.ring_len = 1;
+
+    // All buckets below `base` are settled; `overflow_min` is a lower bound
+    // on the smallest bucket index present in the overflow list.
+    let mut base: u64 = 0;
+    let mut overflow_min: u64 = u64::MAX;
+
+    // Re-buckets an improved node at its post-phase distance.
+    fn rebucket(
+        scratch: &mut SsspScratch,
+        v: NodeId,
+        base: u64,
+        ring_size: u64,
+        delta_dist: Dist,
+        overflow_min: &mut u64,
+    ) {
+        let b = scratch.dist.load(v as usize) / delta_dist;
+        debug_assert!(b >= base, "relaxation moved a node into a settled bucket");
+        if b < base + ring_size {
+            scratch.ring[(b % ring_size) as usize].push(v);
+            scratch.ring_len += 1;
+        } else {
+            scratch.overflow.push(v);
+            *overflow_min = (*overflow_min).min(b);
+        }
+    }
+
+    // Moves overflow entries whose bucket fell inside the ring horizon into
+    // the ring; drops stale entries (node improved and re-bucketed earlier).
+    fn drain_overflow(scratch: &mut SsspScratch, base: u64, delta_dist: Dist) -> u64 {
+        let ring_size = scratch.ring.len() as u64;
+        let mut new_min = u64::MAX;
+        let mut kept = 0;
+        for i in 0..scratch.overflow.len() {
+            let v = scratch.overflow[i];
+            let b = scratch.dist.load(v as usize) / delta_dist;
+            if b < base {
+                continue; // stale: settled under a fresher ring entry
+            } else if b < base + ring_size {
+                scratch.ring[(b % ring_size) as usize].push(v);
+                scratch.ring_len += 1;
+            } else {
+                scratch.overflow[kept] = v;
+                kept += 1;
+                new_min = new_min.min(b);
+            }
+        }
+        scratch.overflow.truncate(kept);
+        new_min
+    }
+
+    loop {
+        // Pull overflow entries the advancing horizon now covers.
+        if overflow_min < base + ring_size {
+            overflow_min = drain_overflow(scratch, base, delta_dist);
+        }
+        // Find the next non-empty bucket. All live ring entries sit in
+        // [base, base + ring_size), so the scan is bounded by the ring.
+        let bucket_idx = if scratch.ring_len > 0 {
+            let mut b = base;
+            while scratch.ring[(b % ring_size) as usize].is_empty() {
+                b += 1;
+            }
+            b
+        } else if scratch.overflow.is_empty() {
+            break;
+        } else {
+            base = overflow_min;
+            overflow_min = drain_overflow(scratch, base, delta_dist);
+            continue;
+        };
+        base = bucket_idx;
+        let slot = (bucket_idx % ring_size) as usize;
+
+        // Light phases: repeat until bucket `bucket_idx` stops receiving
+        // nodes. Nodes re-inserted into the same bucket by an improvement are
+        // relaxed again, exactly as in Meyer & Sanders.
+        loop {
+            let drained = scratch.ring[slot].len();
+            scratch.pending.clear();
+            let (pending, ring) = (&mut scratch.pending, &mut scratch.ring);
+            pending.append(&mut ring[slot]);
+            scratch.ring_len -= drained;
+            // Lazy deletion: keep only nodes whose tentative distance still
+            // falls in this bucket (stale entries are skipped).
+            scratch.active.clear();
+            let (active, pending, dist) = (&mut scratch.active, &scratch.pending, &scratch.dist);
+            active.extend(
+                pending.iter().copied().filter(|&v| dist.load(v as usize) / delta_dist == base),
+            );
+            if scratch.active.is_empty() {
+                break;
+            }
+            phases += 1;
+            scratch.snap.clear();
+            let (snap, active, dist) = (&mut scratch.snap, &scratch.active, &scratch.dist);
+            snap.extend(active.iter().map(|&u| dist.load(u as usize)));
+            for i in 0..scratch.active.len() {
+                let u = scratch.active[i];
+                if !scratch.in_settled[u as usize] {
+                    scratch.in_settled[u as usize] = true;
+                    scratch.settled.push(u);
+                }
+            }
+            relaxations += relax_phase(
+                graph,
+                &scratch.active,
+                &scratch.snap,
+                delta_dist,
+                false,
+                &scratch.dist,
+                &scratch.touched,
+                &scratch.slots,
+                &scratch.slot_len,
+            );
+            updates += scratch.collect_improved() as u64;
+            for i in 0..scratch.improved.len() {
+                let v = scratch.improved[i];
+                rebucket(scratch, v, base, ring_size, delta_dist, &mut overflow_min);
+            }
+            if scratch.ring[slot].is_empty() {
+                break;
+            }
+        }
+
+        // Heavy phase: relax heavy edges of every node settled in the bucket.
+        if !scratch.settled.is_empty() {
+            phases += 1;
+            scratch.snap.clear();
+            let (snap, settled, dist) = (&mut scratch.snap, &scratch.settled, &scratch.dist);
+            snap.extend(settled.iter().map(|&u| dist.load(u as usize)));
+            relaxations += relax_phase(
+                graph,
+                &scratch.settled,
+                &scratch.snap,
+                delta_dist,
+                true,
+                &scratch.dist,
+                &scratch.touched,
+                &scratch.slots,
+                &scratch.slot_len,
+            );
+            updates += scratch.collect_improved() as u64;
+            for i in 0..scratch.improved.len() {
+                let v = scratch.improved[i];
+                rebucket(scratch, v, base + 1, ring_size, delta_dist, &mut overflow_min);
+            }
+            for i in 0..scratch.settled.len() {
+                let u = scratch.settled[i];
+                scratch.in_settled[u as usize] = false;
+            }
+            scratch.settled.clear();
+        }
+        base = bucket_idx + 1;
+    }
+
+    if let Some(t) = tracker {
+        t.add_rounds(phases);
+        t.add_messages(relaxations);
+        t.add_node_updates(updates);
+    }
+
+    DeltaSteppingOutcome {
+        source,
+        delta,
+        dist: scratch.export_dist(n),
+        phases,
+        relaxations,
+        updates,
+    }
+}
+
+/// Runs Δ-stepping from `source` with bucket width `delta` on a fresh
+/// [`SsspScratch`]. Callers issuing many runs (multi-source batches, Δ-grid
+/// sweeps) should hold a scratch and use [`delta_stepping_with_scratch`].
 ///
 /// # Panics
 ///
 /// Panics if `source` is out of range or `delta` is zero.
 pub fn delta_stepping(
+    graph: &Graph,
+    source: NodeId,
+    delta: Weight,
+    tracker: Option<&CostTracker>,
+) -> DeltaSteppingOutcome {
+    let mut scratch = SsspScratch::with_capacity(graph.num_nodes());
+    delta_stepping_with_scratch(graph, source, delta, tracker, &mut scratch)
+}
+
+/// The original `BTreeMap`-bucketed Δ-stepping, kept as an executable
+/// reference for the bucket-array engine: the equivalence property tests pin
+/// `dist` and `phases` bit-identical between the two on every graph family.
+/// Its `updates` counter tallies improving requests in sequential apply
+/// order (see the module docs for why the engine counts improved nodes
+/// instead). Production code must use [`delta_stepping`].
+pub fn delta_stepping_reference(
     graph: &Graph,
     source: NodeId,
     delta: Weight,
@@ -158,7 +597,7 @@ pub fn delta_stepping(
                 break;
             }
         }
-        // Heavy phase: relax heavy edges of every node settled in this bucket.
+        // Heavy phase: relax heavy edges of every node settled in the bucket.
         if !settled.is_empty() {
             phases += 1;
             let requests: Vec<(NodeId, Dist)> = settled
@@ -203,6 +642,9 @@ mod tests {
         let expected = dijkstra(graph, source);
         let outcome = delta_stepping(graph, source, delta, None);
         assert_eq!(outcome.dist, expected.dist, "delta = {delta}");
+        let reference = delta_stepping_reference(graph, source, delta, None);
+        assert_eq!(outcome.dist, reference.dist, "engine vs reference, delta = {delta}");
+        assert_eq!(outcome.phases, reference.phases, "phases diverged at delta = {delta}");
         outcome
     }
 
@@ -228,6 +670,37 @@ mod tests {
         let outcome = check_against_dijkstra(&g, 0, 2);
         assert_eq!(outcome.dist[4], INFINITY);
         assert_eq!(outcome.eccentricity(), 7);
+    }
+
+    #[test]
+    fn tiny_delta_on_heavy_weights_exercises_the_overflow_path() {
+        // Weights up to 50_000 with Δ = 1 make every relaxation jump far past
+        // the capped ring horizon, so every queued node takes the overflow
+        // detour at least once.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1, 50_000), (1, 2, 1), (0, 3, 20_000), (3, 4, 40_000), (4, 2, 1), (2, 5, 9_999)],
+        );
+        check_against_dijkstra(&g, 0, 1);
+        check_against_dijkstra(&g, 2, 3);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_runs_and_graphs() {
+        let small = mesh(6, WeightModel::UniformUnit, 2);
+        let big = mesh(10, WeightModel::UniformUnit, 3);
+        let mut scratch = SsspScratch::new();
+        // Interleave graphs and sources; every reused run must equal a
+        // fresh-scratch run bit for bit.
+        for (graph, source, delta) in
+            [(&big, 0u32, 400_000u32), (&small, 5, 1_000), (&big, 17, 50_000), (&small, 0, 1)]
+        {
+            let reused = delta_stepping_with_scratch(graph, source, delta, None, &mut scratch);
+            let fresh = delta_stepping(graph, source, delta, None);
+            assert_eq!(reused, fresh);
+            assert_eq!(scratch.eccentricity(), fresh.eccentricity());
+            assert_eq!(scratch.distance(source), 0);
+        }
     }
 
     #[test]
@@ -259,10 +732,28 @@ mod tests {
     }
 
     #[test]
+    fn reference_charges_cost_tracker() {
+        let g = mesh(8, WeightModel::UniformUnit, 1);
+        let tracker = CostTracker::new();
+        let outcome = delta_stepping_reference(&g, 0, 500_000, Some(&tracker));
+        let snap = tracker.snapshot();
+        assert_eq!(snap.rounds, outcome.phases);
+        assert_eq!(snap.messages, outcome.relaxations);
+        assert_eq!(snap.node_updates, outcome.updates);
+    }
+
+    #[test]
     #[should_panic(expected = "delta must be positive")]
     fn rejects_zero_delta() {
         let g = Graph::from_edges(2, &[(0, 1, 1)]);
         delta_stepping(&g, 0, 0, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn reference_rejects_zero_delta() {
+        let g = Graph::from_edges(2, &[(0, 1, 1)]);
+        delta_stepping_reference(&g, 0, 0, None);
     }
 
     #[test]

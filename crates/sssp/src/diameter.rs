@@ -7,12 +7,18 @@
 //!   paper uses to normalize the approximation ratios of Table 2.
 //! * Exact diameter: all-pairs Dijkstra (parallel over sources), tractable for
 //!   the small graphs used in tests and for quotient graphs.
+//!
+//! All of the iterated-SSSP drivers here run through the batched multi-source
+//! engine of [`crate::batch`]: one [`ScratchPool`] per call site, so the many
+//! Dijkstras of an all-pairs sweep or a sweep chain share reusable
+//! distance/heap state instead of allocating per source.
 
 use cldiam_graph::{component_subgraphs, connected_components, Dist, Graph, NodeId, INFINITY};
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 use rayon::prelude::*;
 
+use crate::batch::{batched_eccentricities, DijkstraScratch, ScratchPool};
 use crate::dijkstra::dijkstra;
 
 /// Weighted eccentricity of `source`: the largest finite distance from it.
@@ -21,9 +27,19 @@ pub fn eccentricity(graph: &Graph, source: NodeId) -> Dist {
 }
 
 /// The subgraph-local id of `node` within a component's ascending
-/// `new id -> original id` mapping, or 0 when the node is not a member.
+/// `new id -> original id` mapping.
+///
+/// # Panics
+///
+/// Panics when `node` is not a member of the mapping: a miss here means the
+/// caller routed a sweep start into the wrong component, and silently mapping
+/// it to local id 0 (as an earlier revision did) would mask that mapping bug
+/// as a mere wrong-source sweep.
 fn local_id(mapping: &[NodeId], node: NodeId) -> NodeId {
-    mapping.binary_search(&node).map(|i| i as NodeId).unwrap_or(0)
+    mapping
+        .binary_search(&node)
+        .map(|i| i as NodeId)
+        .unwrap_or_else(|_| panic!("node {node} is not a member of this component's mapping"))
 }
 
 /// The SSSP 2-approximation of the diameter: the true diameter lies in
@@ -46,6 +62,7 @@ pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
         return eccentricity(graph, source).saturating_mul(2);
     }
     let source_label = labels.labels[source as usize];
+    let pool = ScratchPool::new();
     component_subgraphs(graph, &labels)
         .par_iter()
         .map(|(sub, mapping)| {
@@ -54,7 +71,10 @@ pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
             } else {
                 0
             };
-            dijkstra(sub, start).eccentricity().saturating_mul(2)
+            pool.with(|scratch| {
+                scratch.run(sub, start);
+                scratch.eccentricity().saturating_mul(2)
+            })
         })
         .max()
         .unwrap_or(0)
@@ -74,7 +94,8 @@ pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
 /// elsewhere), every other chain at its component's smallest member, and
 /// each chain gets the full `sweeps` budget. Total cost is the split plus
 /// `O(sweeps)` Dijkstras per component *at that component's size*, so
-/// fragmented raw datasets stay tractable.
+/// fragmented raw datasets stay tractable. The chains share one scratch pool,
+/// and each chain reuses a single scratch across its sweeps.
 pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
     if graph.num_nodes() == 0 {
         return 0;
@@ -83,10 +104,12 @@ pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
     let random_start = rng.gen_range(0..graph.num_nodes()) as NodeId;
     if labels.count <= 1 {
-        return sweep_chain(graph, random_start, sweeps);
+        let mut scratch = DijkstraScratch::new();
+        return sweep_chain(graph, random_start, sweeps, &mut scratch).0;
     }
     let largest = labels.largest().expect("non-empty graph has a largest component");
     let in_largest = |u: NodeId| labels.labels[u as usize] == largest;
+    let pool = ScratchPool::new();
     component_subgraphs(graph, &labels)
         .par_iter()
         .map(|(sub, mapping)| {
@@ -95,50 +118,66 @@ pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
             } else {
                 0
             };
-            sweep_chain(sub, start, sweeps)
+            pool.with(|scratch| sweep_chain(sub, start, sweeps, scratch).0)
         })
         .max()
         .unwrap_or(0)
 }
 
 /// One iterated farthest-node sweep chain from `start` (stays within the
-/// start's component by construction).
-fn sweep_chain(graph: &Graph, start: NodeId, sweeps: usize) -> Dist {
+/// start's component by construction), reusing `scratch` across its sweeps.
+/// Returns the best eccentricity seen and the number of sweeps actually run.
+///
+/// The chain stops as soon as the farthest node is one it has already swept
+/// from — not merely when it equals the current node. On a symmetric graph
+/// the two endpoints of the same shortest path are each other's farthest
+/// node, and the endpoint-only test of an earlier revision made the chain
+/// ping-pong between them, burning the whole sweep budget on duplicate
+/// Dijkstras that could not improve the bound.
+fn sweep_chain(
+    graph: &Graph,
+    start: NodeId,
+    sweeps: usize,
+    scratch: &mut DijkstraScratch,
+) -> (Dist, usize) {
     let mut current = start;
     let mut best = 0;
-    for _ in 0..sweeps.max(1) {
-        let sp = dijkstra(graph, current);
-        let ecc = sp.eccentricity();
+    let budget = sweeps.max(1);
+    // Chain starts already swept from; `budget` entries at most.
+    let mut visited: Vec<NodeId> = Vec::with_capacity(budget);
+    let mut used = 0;
+    for _ in 0..budget {
+        visited.push(current);
+        scratch.run(graph, current);
+        used += 1;
+        let ecc = scratch.eccentricity();
         if ecc > best {
             best = ecc;
         }
-        let farthest = sp.farthest_node();
-        if farthest == current {
+        let farthest = scratch.farthest_node();
+        if visited.contains(&farthest) {
             break;
         }
         current = farthest;
     }
-    best
+    (best, used)
 }
 
-/// Exact weighted diameter by all-pairs Dijkstra, parallel over source nodes.
+/// Exact weighted diameter by all-pairs Dijkstra, parallel over source nodes
+/// through the batched multi-source driver.
 ///
 /// Defined as the paper does for possibly-disconnected graphs: the largest
 /// distance between two nodes *in the same connected component*. Intended for
 /// small graphs (tests, quotient graphs); the cost is `O(n · m log n)`.
 pub fn exact_diameter(graph: &Graph) -> Dist {
-    let n = graph.num_nodes();
-    if n == 0 {
-        return 0;
-    }
-    (0..n as NodeId).into_par_iter().map(|u| dijkstra(graph, u).eccentricity()).max().unwrap_or(0)
+    all_eccentricities(graph).into_iter().max().unwrap_or(0)
 }
 
-/// Exact eccentricity of every node (parallel all-pairs Dijkstra); useful for
+/// Exact eccentricity of every node (batched all-pairs Dijkstra); useful for
 /// ablations and for validating approximation ratios in tests.
 pub fn all_eccentricities(graph: &Graph) -> Vec<Dist> {
-    let n = graph.num_nodes();
-    (0..n as NodeId).into_par_iter().map(|u| dijkstra(graph, u).eccentricity()).collect()
+    let sources: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+    batched_eccentricities(graph, &sources)
 }
 
 /// `true` if `dist` contains a finite entry for every node — i.e. the source
@@ -189,6 +228,49 @@ mod tests {
         let lb = diameter_lower_bound(&g, 4, 1);
         assert!(lb <= exact && lb > 0);
         assert!(lb * 10 >= exact * 8, "lb {lb} vs exact {exact}");
+    }
+
+    #[test]
+    fn sweep_chain_stops_on_a_repeated_chain_start() {
+        // Regression: on a symmetric path the two endpoints are each other's
+        // farthest node. The old `farthest == current` test never fired, so a
+        // chain starting in the middle ping-ponged endpoint-to-endpoint for
+        // the whole budget. It must now stop after sweeping each endpoint
+        // once: mid, right endpoint, left endpoint — three sweeps.
+        let g = path(9, 5);
+        let mut scratch = DijkstraScratch::new();
+        let (best, used) = sweep_chain(&g, 4, 100, &mut scratch);
+        assert_eq!(best, 8 * 5);
+        assert_eq!(used, 3, "chain burned {used} sweeps instead of stopping on the repeat");
+        // Starting at an endpoint: endpoint, other endpoint, stop.
+        let (best_end, used_end) = sweep_chain(&g, 0, 100, &mut scratch);
+        assert_eq!(best_end, 8 * 5);
+        assert_eq!(used_end, 2);
+    }
+
+    #[test]
+    fn sweep_chain_still_honors_the_budget() {
+        let (g, _) = largest_component(&road_network(12, 12, 3));
+        let mut scratch = DijkstraScratch::new();
+        let (_, used) = sweep_chain(&g, 0, 2, &mut scratch);
+        assert!(used <= 2);
+    }
+
+    #[test]
+    fn local_id_maps_members_in_order() {
+        let mapping = [3u32, 7, 9];
+        assert_eq!(local_id(&mapping, 3), 0);
+        assert_eq!(local_id(&mapping, 7), 1);
+        assert_eq!(local_id(&mapping, 9), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a member of this component's mapping")]
+    fn local_id_panics_on_a_non_member() {
+        // Regression: a non-member used to map silently to local id 0, hiding
+        // component-routing bugs behind a wrong-source sweep.
+        let mapping = [3u32, 7, 9];
+        local_id(&mapping, 8);
     }
 
     #[test]

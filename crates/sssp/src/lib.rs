@@ -11,28 +11,44 @@
 //!
 //! * [`dijkstra`] — sequential Dijkstra returning distances, hop counts and
 //!   the shortest-path tree; the exactness oracle for every test in the
-//!   workspace and the tool used to compute the paper's diameter *lower
-//!   bounds* (iterated farthest-node sweeps).
+//!   workspace.
+//! * [`batch`] — the batched multi-source engine: a reusable
+//!   [`DijkstraScratch`] (distances only, `O(reached)` resets), a
+//!   [`ScratchPool`] shared by the workers of a batch, and the
+//!   [`multi_source_dijkstra`] / [`batched_eccentricities`] drivers behind
+//!   every iterated-SSSP consumer in the workspace.
 //! * [`bellman_ford`] — a second independent oracle used in property tests.
-//! * [`delta_stepping`] — the parallel Δ-stepping baseline, with the paper's
-//!   cost model charged to a [`cldiam_mr::CostTracker`] (one round per
-//!   light/heavy relaxation phase, messages = relaxation requests, node
-//!   updates = tentative-distance improvements).
+//! * [`delta_stepping`] — the parallel Δ-stepping baseline on a cyclic
+//!   bucket-array engine with atomic fetch-min relaxation and a reusable
+//!   [`SsspScratch`], with the paper's cost model charged to a
+//!   [`cldiam_mr::CostTracker`] (one round per light/heavy relaxation phase,
+//!   messages = relaxation requests, node updates = distinct improved nodes
+//!   per phase). The pre-refactor `BTreeMap` implementation is kept as
+//!   [`delta_stepping_reference`] for the equivalence suites.
 //! * [`diameter`] — SSSP-based upper and lower bounds for the weighted
-//!   diameter, and an exact all-pairs diameter for small graphs.
+//!   diameter (iterated farthest-node sweep chains), and an exact all-pairs
+//!   diameter for small graphs, all running through the batched engine.
 //! * [`hops`] — estimators for `ℓ_Δ` (the maximum number of edges on
 //!   minimum-weight paths of weight at most `Δ`) and for the unweighted
 //!   diameter `Ψ(G)`, the quantities governing the paper's round-complexity
 //!   analysis.
 
+pub mod batch;
 pub mod bellman_ford;
 pub mod delta_stepping;
 pub mod diameter;
 pub mod dijkstra;
 pub mod hops;
 
+pub use batch::{batched_eccentricities, multi_source_dijkstra, DijkstraScratch, ScratchPool};
 pub use bellman_ford::bellman_ford;
-pub use delta_stepping::{delta_stepping, suggest_delta, DeltaSteppingOutcome};
-pub use diameter::{diameter_lower_bound, eccentricity, exact_diameter, sssp_diameter_upper_bound};
+pub use delta_stepping::{
+    delta_stepping, delta_stepping_reference, delta_stepping_with_scratch, suggest_delta,
+    DeltaSteppingOutcome, SsspScratch,
+};
+pub use diameter::{
+    all_eccentricities, diameter_lower_bound, eccentricity, exact_diameter,
+    sssp_diameter_upper_bound,
+};
 pub use dijkstra::{dijkstra, ShortestPaths};
 pub use hops::{ell_delta, unweighted_diameter};

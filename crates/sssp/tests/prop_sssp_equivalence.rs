@@ -1,0 +1,158 @@
+//! Property-based equivalence of the Δ-stepping implementations and of the
+//! batched multi-source drivers.
+//!
+//! The acceptance bar for the bucket-array engine: on random weighted graphs
+//! — connected, disconnected, and with heavy weights driving the engine
+//! through its overflow path — the production engine
+//! ([`cldiam_sssp::delta_stepping`]), the `BTreeMap` reference
+//! ([`cldiam_sssp::delta_stepping_reference`]) and Dijkstra must agree on
+//! every distance, the engine and the reference must agree on the phase
+//! count, and the engine's full outcome (distances *and* counters) must be
+//! bit-identical on thread pools of 1, 2 and 8 workers, with and without
+//! scratch reuse. The batched eccentricity driver is pinned against the
+//! sequential per-source Dijkstra loop under the same pools.
+
+use proptest::prelude::*;
+
+use cldiam_graph::{Dist, Graph, GraphBuilder, NodeId, Weight};
+use cldiam_sssp::{
+    batched_eccentricities, delta_stepping, delta_stepping_reference, delta_stepping_with_scratch,
+    dijkstra, SsspScratch,
+};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn with_pool<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool").install(op)
+}
+
+/// A random weighted graph of 2..=18 nodes. `spine` adds a spanning path
+/// (connected); without it the random extra edges usually leave several
+/// components, exercising unreachable nodes. `max_w` stretches the weight
+/// range: small weights keep everything within one ring lap, heavy weights
+/// under a small Δ force relaxations through the engine's overflow list.
+fn graph_strategy(spine: bool, max_w: Weight) -> impl Strategy<Value = Graph> {
+    (2usize..=18).prop_flat_map(move |n| {
+        let path_weights = proptest::collection::vec(1..=max_w, if spine { n - 1 } else { 0 });
+        let extra_edges =
+            proptest::collection::vec((0..n as u32, 0..n as u32, 1..=max_w), 0..(2 * n));
+        (path_weights, extra_edges).prop_map(move |(pw, extra)| {
+            let mut builder = GraphBuilder::new(n);
+            for (i, w) in pw.iter().enumerate() {
+                builder.add_edge(i as u32, (i + 1) as u32, *w);
+            }
+            for (u, v, w) in extra {
+                if u != v {
+                    builder.add_edge(u, v, w);
+                }
+            }
+            builder.build()
+        })
+    })
+}
+
+/// Union of the three graph families the engine must handle: connected with
+/// light weights, typically disconnected, and connected with heavy weights.
+fn any_graph() -> impl Strategy<Value = Graph> {
+    (0usize..3).prop_flat_map(|family| {
+        let (spine, max_w) = match family {
+            0 => (true, 30),
+            1 => (false, 30),
+            _ => (true, 4_000_000),
+        };
+        graph_strategy(spine, max_w)
+    })
+}
+
+/// Exercises one (graph, source, delta) case, asserting the
+/// cross-implementation equalities, and returns the engine outcome.
+fn check_case(
+    graph: &Graph,
+    source: NodeId,
+    delta: Weight,
+    scratch: &mut SsspScratch,
+) -> cldiam_sssp::DeltaSteppingOutcome {
+    let expected = dijkstra(graph, source);
+    let engine = delta_stepping(graph, source, delta, None);
+    let reused = delta_stepping_with_scratch(graph, source, delta, None, scratch);
+    let reference = delta_stepping_reference(graph, source, delta, None);
+    assert_eq!(engine.dist, expected.dist, "engine vs dijkstra (source {source}, delta {delta})");
+    assert_eq!(engine.dist, reference.dist, "engine vs reference (source {source}, delta {delta})");
+    assert_eq!(
+        engine.phases, reference.phases,
+        "phase count diverged from the reference (source {source}, delta {delta})"
+    );
+    assert_eq!(reused, engine, "scratch reuse changed the outcome");
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn bucket_engine_matches_reference_and_dijkstra_on_every_pool(
+        graph in any_graph(),
+        source_sel in 0usize..18,
+        delta_sel in 0usize..4,
+    ) {
+        let n = graph.num_nodes();
+        let source = (source_sel % n) as NodeId;
+        let avg = graph.avg_weight().unwrap_or(1).max(1);
+        let delta = [1, avg, avg.saturating_mul(8).max(1), Weight::MAX][delta_sel].max(1);
+
+        // One scratch reused across every pool: reuse must never leak state.
+        let mut scratch = SsspScratch::new();
+        let reference_outcome =
+            with_pool(THREAD_COUNTS[0], || check_case(&graph, source, delta, &mut scratch));
+        for &threads in &THREAD_COUNTS[1..] {
+            let outcome =
+                with_pool(threads, || check_case(&graph, source, delta, &mut scratch));
+            // Full outcome — distances and all three counters — must be
+            // bit-identical across pool sizes.
+            prop_assert_eq!(&outcome, &reference_outcome, "diverged at {} threads", threads);
+        }
+    }
+
+    #[test]
+    fn batched_eccentricities_match_the_sequential_loop_on_every_pool(
+        graph in any_graph(),
+    ) {
+        let sources: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
+        let sequential: Vec<Dist> =
+            sources.iter().map(|&s| dijkstra(&graph, s).eccentricity()).collect();
+        for &threads in &THREAD_COUNTS {
+            let batched = with_pool(threads, || batched_eccentricities(&graph, &sources));
+            prop_assert_eq!(&batched, &sequential, "diverged at {} threads", threads);
+        }
+    }
+}
+
+/// The Δ tradeoff on a structured graph, pinned deterministically: on the
+/// repo's standard mesh, phases are non-increasing along a doubling Δ grid
+/// (toward Bellman-Ford). Kept out of the proptest because the monotonicity
+/// is a property of well-behaved instances, not of adversarial ones — and
+/// the work counters are *not* pointwise monotone (vanishing heavy phases
+/// can shed a few duplicate relaxations between neighbouring grid points),
+/// so only the endpoints are compared on work.
+#[test]
+fn phases_fall_along_a_doubling_delta_grid() {
+    let graph = cldiam_gen::mesh(12, cldiam_gen::WeightModel::UniformUnit, 3);
+    let mut scratch = SsspScratch::with_capacity(graph.num_nodes());
+    let mut delta: Weight = 50_000;
+    let mut first: Option<cldiam_sssp::DeltaSteppingOutcome> = None;
+    let mut previous_phases = u64::MAX;
+    for _ in 0..8 {
+        let outcome = delta_stepping_with_scratch(&graph, 0, delta, None, &mut scratch);
+        assert!(
+            outcome.phases <= previous_phases,
+            "phases rose from {previous_phases} to {} at delta {delta}",
+            outcome.phases
+        );
+        previous_phases = outcome.phases;
+        first.get_or_insert(outcome);
+        delta = delta.saturating_mul(2);
+    }
+    let fine = first.expect("grid ran");
+    let coarse = delta_stepping_with_scratch(&graph, 0, delta, None, &mut scratch);
+    assert!(coarse.work() >= fine.work(), "coarse {} fine {}", coarse.work(), fine.work());
+}

@@ -121,7 +121,7 @@ fn mapreduce_growth_matches_shared_memory_growth() {
 
     let graph = GraphSpec::RoadNetwork { rows: 12, cols: 12 }.generate_connected(6);
     let centers = [0u32, (graph.num_nodes() / 2) as u32, (graph.num_nodes() - 1) as u32];
-    let threshold = 4_000i64;
+    let threshold = 4_000u64;
 
     let mut fast = GrowState::new(graph.num_nodes());
     let mut slow = GrowState::new(graph.num_nodes());
@@ -130,9 +130,9 @@ fn mapreduce_growth_matches_shared_memory_growth() {
         slow.set_center(c);
     }
     let mut scratch = GrowScratch::new();
-    partial_growth(&graph, threshold, threshold as u64, &mut fast, None, None, None, &mut scratch);
+    partial_growth(&graph, threshold, threshold, &mut fast, None, None, None, &mut scratch);
     let engine = MrEngine::new(MrConfig::with_machines(3));
-    mr_partial_growth(&engine, &graph, threshold, threshold as u64, &mut slow);
+    mr_partial_growth(&engine, &graph, threshold, threshold, &mut slow);
     assert_eq!(fast.eff, slow.eff);
     assert_eq!(fast.center, slow.center);
     assert_eq!(fast.true_dist, slow.true_dist);
