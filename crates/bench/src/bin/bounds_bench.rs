@@ -1,0 +1,137 @@
+//! Convergence benchmark for the anytime bounds engine.
+//!
+//! ```text
+//! bounds_bench [--out PATH] [--seed K] [--threads N]
+//! ```
+//!
+//! For each workload (`gen:rmat:10`, `gen:mesh:64` and the checked-in
+//! `tests/data/roads.gr`, each reduced to its largest component) the program
+//! runs
+//!
+//! 1. the **anytime engine** (`--algo bounds` configuration: quotient oracle
+//!    on, default budget) and records how many SSSPs it needs to certify
+//!    `ub/lb ≤ 1.1` and to converge outright, and
+//! 2. the **fixed-budget pipeline** the CLI used before the engine existed —
+//!    `diameter_lower_bound` (4 sweep SSSPs) + a full `CL-DIAM` run — and
+//!    charges it in SSSP-equivalents: 4 sweeps, plus 1 for the clustering
+//!    (Δ-growing settles every node exactly once, the work of one
+//!    multi-source SSSP pass), plus 1 for the quotient stage.
+//!
+//! The rows land in `BENCH_bounds.json` (see `--out`), which is committed so
+//! the convergence claim is reviewable without rerunning.
+
+use cldiam_bench::json::{object, to_string_pretty, Value};
+use cldiam_bench::runner::reference_lower_bound_with_split;
+use cldiam_core::{
+    anytime_diameter_with_split, approximate_diameter, AnytimeConfig, ClusterConfig,
+};
+use cldiam_gen::GraphSpec;
+use cldiam_graph::{largest_component, load_graph, Graph, INFINITY};
+use cldiam_sssp::{BoundsConfig, BoundsOutcome, ComponentSplit};
+
+/// SSSP-equivalents charged to the fixed-budget pipeline: 4 lower-bound
+/// sweeps + 1 clustering pass + 1 quotient stage.
+const BASELINE_SSSP_EQUIVALENTS: usize = 6;
+
+fn sssp_to_ratio(outcome: &BoundsOutcome, ratio: f64) -> Option<usize> {
+    outcome
+        .iterations
+        .iter()
+        .find(|it| it.upper != INFINITY && (it.upper as f64) <= ratio * (it.lower as f64))
+        .map(|it| it.sssp_runs)
+}
+
+fn bench_one(name: &str, graph: &Graph, seed: u64) -> Value {
+    let (core, _) = largest_component(graph);
+    let split = ComponentSplit::compute(&core);
+    let tau = ClusterConfig::tau_for_quotient_target(core.num_nodes(), 2_000);
+    let cluster = ClusterConfig::default().with_tau(tau).with_seed(seed);
+
+    let anytime = AnytimeConfig { bounds: BoundsConfig::default(), cluster: Some(cluster.clone()) };
+    let outcome = anytime_diameter_with_split(&core, &anytime, &split);
+
+    let reference = reference_lower_bound_with_split(&core, seed, &split);
+    let estimate = approximate_diameter(&core, &cluster);
+    let baseline_ratio =
+        if reference == 0 { 1.0 } else { estimate.upper_bound as f64 / reference as f64 };
+
+    eprintln!(
+        "[bounds_bench] {name}: engine lb={} ub={} (1.1-tight after {:?} SSSPs, {} total); \
+         baseline [{reference}, {}] in {BASELINE_SSSP_EQUIVALENTS} SSSP-equivalents",
+        outcome.lower,
+        outcome.upper,
+        sssp_to_ratio(&outcome, 1.1),
+        outcome.sssp_runs,
+        estimate.upper_bound,
+    );
+
+    let to_value = |n: Option<usize>| n.map_or(Value::Null, Value::from);
+    object([
+        ("workload", name.into()),
+        ("nodes", core.num_nodes().into()),
+        ("edges", core.num_edges().into()),
+        (
+            "anytime",
+            object([
+                ("lower", outcome.lower.into()),
+                ("upper", outcome.upper.into()),
+                ("converged", Value::Bool(outcome.converged)),
+                ("sssp_total", outcome.sssp_runs.into()),
+                ("sssp_to_ratio_1_1", to_value(sssp_to_ratio(&outcome, 1.1))),
+                ("sssp_to_converged", to_value(outcome.converged.then_some(outcome.sssp_runs))),
+            ]),
+        ),
+        (
+            "fixed_budget",
+            object([
+                ("lower", reference.into()),
+                ("upper", estimate.upper_bound.into()),
+                ("ratio", baseline_ratio.into()),
+                ("sssp_equivalents", BASELINE_SSSP_EQUIVALENTS.into()),
+                ("sweep_sssp", 4usize.into()),
+                ("clustering_sssp_equivalent", 1usize.into()),
+                ("quotient_sssp_equivalent", 1usize.into()),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out = "BENCH_bounds.json".to_string();
+    let mut seed = 1u64;
+    let mut threads = cldiam_bench::configured_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed expects an integer")
+            }
+            "--threads" => {
+                threads =
+                    Some(args.next().and_then(|v| v.parse().ok()).expect("--threads expects N"))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bounds_bench [--out PATH] [--seed K] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    cldiam_bench::install_with_threads(threads, || {
+        let mut rows = Vec::new();
+        for spec_text in ["rmat:10", "mesh:64"] {
+            let spec = GraphSpec::parse(spec_text).expect("built-in spec parses");
+            let graph = spec.generate(seed);
+            rows.push(bench_one(&format!("gen:{spec_text}"), &graph, seed));
+        }
+        if let Ok(graph) = load_graph("tests/data/roads.gr") {
+            rows.push(bench_one("tests/data/roads.gr (largest component)", &graph, seed));
+        } else {
+            eprintln!("[bounds_bench] tests/data/roads.gr not found; skipping");
+        }
+        let doc = to_string_pretty(&Value::Array(rows));
+        std::fs::write(&out, format!("{doc}\n")).expect("write benchmark output");
+        eprintln!("[bounds_bench] wrote {out}");
+    });
+}

@@ -16,12 +16,21 @@
 //!   --delta D       Δ-stepping bucket width (default: sweep a grid, keep
 //!                   the fewest-rounds configuration)
 //!   --cluster2      decompose with CLUSTER2 (Algorithm 2) instead of CLUSTER
-//!   --algo A        cldiam | delta | both (default both)
+//!   --algo A        cldiam | delta | both | bounds (default both)
+//!   --bounds-budget N
+//!                   SSSP budget per component for --algo bounds (default 64)
+//!   --tolerance F   stop the bounds engine at ub ≤ F·lb (default 1.0: exact)
+//!   --no-quotient   disable the CL-DIAM quotient oracle inside --algo bounds
+//!   --directed      keep arc directions (text inputs only; implies
+//!                   --algo bounds, the only direction-aware algorithm)
+//!   --symmetrize    explicitly request the default symmetrizing load and
+//!                   silence the one-way-arc warning
 //!   --seed K        RNG seed (default 1)
 //!   --threads N     worker-pool size (default: CLDIAM_THREADS, then hardware)
 //!   --largest-component
 //!                   extract the largest connected component before running
-//!                   (what the paper does with every real-world graph)
+//!                   (what the paper does with every real-world graph);
+//!                   in --directed mode: the largest *weakly* connected one
 //!   --cache         reuse/write a binary .cldg snapshot next to the input
 //!   --json PATH     write the JSON report rows to PATH ("-" for stdout)
 //!   --no-time       report wall-clock fields as 0 so output is byte-identical
@@ -33,15 +42,17 @@
 
 use std::time::Instant;
 
+use cldiam_bench::json::Value;
 use cldiam_bench::report::{render_table, to_json};
 use cldiam_bench::runner::{
-    baseline_source, reference_lower_bound, run_cldiam_with, run_delta_stepping_best,
-    run_delta_stepping_with,
+    baseline_source, reference_lower_bound_with_split, run_bounds, run_cldiam_with,
+    run_delta_stepping_best, run_delta_stepping_with,
 };
 use cldiam_bench::ResultRow;
-use cldiam_core::ClusterConfig;
+use cldiam_core::{AnytimeConfig, ClusterConfig};
 use cldiam_gen::GraphSpec;
-use cldiam_graph::{largest_component, load_graph, load_graph_cached, Graph};
+use cldiam_graph::{largest_component, load_graph_as, load_graph_cached, EdgeDirection, Graph};
+use cldiam_sssp::{BoundsConfig, ComponentSplit};
 
 struct Options {
     input: String,
@@ -50,6 +61,11 @@ struct Options {
     delta: Option<u32>,
     cluster2: bool,
     algo: Algo,
+    bounds_budget: usize,
+    tolerance: f64,
+    no_quotient: bool,
+    directed: bool,
+    symmetrize: bool,
     seed: u64,
     threads: Option<usize>,
     largest_component: bool,
@@ -63,12 +79,15 @@ enum Algo {
     Cldiam,
     Delta,
     Both,
+    Bounds,
 }
 
 const USAGE: &str =
     "usage: cldiam <PATH | gen:SPEC> [--tau N] [--quotient N] [--delta D] [--cluster2]\n\
-                     \u{20}             [--algo cldiam|delta|both] [--seed K] [--threads N]\n\
-                     \u{20}             [--largest-component] [--cache] [--json PATH] [--no-time]";
+                     \u{20}             [--algo cldiam|delta|both|bounds] [--bounds-budget N]\n\
+                     \u{20}             [--tolerance F] [--no-quotient] [--directed | --symmetrize]\n\
+                     \u{20}             [--seed K] [--threads N] [--largest-component] [--cache]\n\
+                     \u{20}             [--json PATH] [--no-time]";
 
 fn usage() -> ! {
     eprintln!(
@@ -89,7 +108,12 @@ fn help() -> ! {
          --quotient N          quotient-size target for the auto τ rule (default 2000)\n\
          --delta D             Δ-stepping bucket width (default: sweep a grid)\n\
          --cluster2            decompose with CLUSTER2 (Algorithm 2)\n\
-         --algo A              cldiam | delta | both (default both)\n\
+         --algo A              cldiam | delta | both | bounds (default both)\n\
+         --bounds-budget N     SSSP budget per component for --algo bounds (default 64)\n\
+         --tolerance F         stop the bounds engine at ub ≤ F·lb (default 1.0)\n\
+         --no-quotient         disable the quotient oracle inside --algo bounds\n\
+         --directed            keep arc directions (text inputs, --algo bounds only)\n\
+         --symmetrize          force the default symmetrizing load explicitly\n\
          --seed K              RNG seed (default 1)\n\
          --threads N           worker-pool size (default: CLDIAM_THREADS, then hardware)\n\
          --largest-component   extract the largest connected component first\n\
@@ -108,6 +132,11 @@ fn parse_args() -> Options {
         delta: None,
         cluster2: false,
         algo: Algo::Both,
+        bounds_budget: 64,
+        tolerance: 1.0,
+        no_quotient: false,
+        directed: false,
+        symmetrize: false,
         seed: 1,
         threads: cldiam_bench::configured_threads(),
         largest_component: false,
@@ -151,12 +180,32 @@ fn parse_args() -> Options {
                     "cldiam" => Algo::Cldiam,
                     "delta" => Algo::Delta,
                     "both" => Algo::Both,
+                    "bounds" => Algo::Bounds,
                     other => {
-                        eprintln!("unknown --algo {other:?}: expected cldiam | delta | both");
+                        eprintln!(
+                            "unknown --algo {other:?}: expected cldiam | delta | both | bounds"
+                        );
                         usage()
                     }
                 }
             }
+            "--bounds-budget" => match value(&mut args, "--bounds-budget").parse() {
+                Ok(n) if n >= 1 => options.bounds_budget = n,
+                _ => {
+                    eprintln!("--bounds-budget expects a positive integer");
+                    usage()
+                }
+            },
+            "--tolerance" => match value(&mut args, "--tolerance").parse::<f64>() {
+                Ok(f) if f.is_finite() && f >= 1.0 => options.tolerance = f,
+                _ => {
+                    eprintln!("--tolerance expects a finite number >= 1.0");
+                    usage()
+                }
+            },
+            "--no-quotient" => options.no_quotient = true,
+            "--directed" => options.directed = true,
+            "--symmetrize" => options.symmetrize = true,
             "--seed" => match value(&mut args, "--seed").parse() {
                 Ok(k) => options.seed = k,
                 Err(_) => {
@@ -191,6 +240,30 @@ fn parse_args() -> Options {
         eprintln!("missing input: a graph file path or a gen:SPEC");
         usage();
     }
+    if options.directed && options.symmetrize {
+        eprintln!("--directed and --symmetrize are mutually exclusive");
+        usage();
+    }
+    if options.directed {
+        if options.input.starts_with("gen:") {
+            eprintln!("--directed needs a text graph file; gen: workloads are undirected");
+            usage();
+        }
+        match options.algo {
+            Algo::Bounds => {}
+            // The default `both` silently narrows: bounds is the only
+            // direction-aware algorithm.
+            Algo::Both => options.algo = Algo::Bounds,
+            Algo::Cldiam | Algo::Delta => {
+                eprintln!("--directed supports --algo bounds only");
+                usage();
+            }
+        }
+        if options.cache {
+            eprintln!("[cldiam] --cache ignored: binary snapshots are undirected");
+            options.cache = false;
+        }
+    }
     options
 }
 
@@ -212,7 +285,23 @@ fn load_input(options: &Options) -> (Graph, String) {
             graph
         })
     } else {
-        load_graph(&options.input)
+        let direction =
+            if options.directed { EdgeDirection::Directed } else { EdgeDirection::Symmetrize };
+        load_graph_as(&options.input, direction).map(|loaded| {
+            if loaded.asymmetric_arcs > 0 {
+                if options.directed {
+                    eprintln!("[cldiam] {} one-way arc(s) kept directed", loaded.asymmetric_arcs);
+                } else if !options.symmetrize {
+                    eprintln!(
+                        "[cldiam] warning: {} arc(s) u→v have no companion v→u; the input \
+                         looks directed and was symmetrized — pass --directed to keep arc \
+                         directions (or --symmetrize to silence this check)",
+                        loaded.asymmetric_arcs
+                    );
+                }
+            }
+            loaded.graph
+        })
     };
     let graph = result.unwrap_or_else(|e| {
         eprintln!("cannot load {:?}: {e}", options.input);
@@ -228,6 +317,31 @@ fn load_input(options: &Options) -> (Graph, String) {
 fn main() {
     let options = parse_args();
     cldiam_bench::install_with_threads(options.threads, || run(&options));
+}
+
+/// Streams the bounds engine's iteration trace to stderr, one line per SSSP
+/// (or per oracle consult), so long runs show their anytime progress.
+fn print_bounds_progress(result: &cldiam_bench::RunResult) {
+    let Some(Value::Array(items)) = &result.iterations else { return };
+    for (i, it) in items.iter().enumerate() {
+        let source = match it.get("source").as_u64() {
+            Some(s) => format!("source={s}"),
+            None => "quotient-oracle".to_string(),
+        };
+        let upper = match it.get("upper").as_u64() {
+            Some(u) => u.to_string(),
+            None => "inf".to_string(),
+        };
+        eprintln!(
+            "[bounds] it {}: {} sssp={} lb={} ub={} open={}",
+            i + 1,
+            source,
+            it.get("sssp_runs").as_u64().unwrap_or(0),
+            it.get("lower").as_u64().unwrap_or(0),
+            upper,
+            it.get("open").as_u64().unwrap_or(0),
+        );
+    }
 }
 
 fn run(options: &Options) {
@@ -252,7 +366,6 @@ fn run(options: &Options) {
         std::process::exit(1);
     }
 
-    let lower = reference_lower_bound(&graph, options.seed);
     let tau = options.tau.unwrap_or_else(|| {
         ClusterConfig::tau_for_quotient_target(graph.num_nodes(), options.target_quotient)
     });
@@ -260,18 +373,45 @@ fn run(options: &Options) {
         .with_tau(tau)
         .with_seed(options.seed)
         .with_cluster2(options.cluster2);
+    let bounds_config = BoundsConfig::default()
+        .with_max_sssp(options.bounds_budget)
+        .with_tolerance(options.tolerance);
 
     let mut results = Vec::new();
-    if options.algo != Algo::Delta {
-        results.push(run_cldiam_with(&graph, lower, &config));
-    }
-    if options.algo != Algo::Cldiam {
-        results.push(match options.delta {
-            Some(delta) => {
-                run_delta_stepping_with(&graph, baseline_source(&graph, options.seed), delta, lower)
+    if graph.is_directed() {
+        // parse_args narrowed directed inputs to the bounds engine, which
+        // runs the whole digraph (no component split) with no oracle.
+        let anytime = AnytimeConfig { bounds: bounds_config, cluster: None };
+        let result = run_bounds(&graph, &anytime, None);
+        print_bounds_progress(&result);
+        results.push(result);
+    } else {
+        // One connectivity pass serves the reference lower bound and the
+        // bounds engine alike.
+        let split = ComponentSplit::compute(&graph);
+        if options.algo != Algo::Bounds {
+            let lower = reference_lower_bound_with_split(&graph, options.seed, &split);
+            if options.algo != Algo::Delta {
+                results.push(run_cldiam_with(&graph, lower, &config));
             }
-            None => run_delta_stepping_best(&graph, lower, options.seed),
-        });
+            if options.algo != Algo::Cldiam {
+                results.push(match options.delta {
+                    Some(delta) => run_delta_stepping_with(
+                        &graph,
+                        baseline_source(&graph, options.seed),
+                        delta,
+                        lower,
+                    ),
+                    None => run_delta_stepping_best(&graph, lower, options.seed),
+                });
+            }
+        } else {
+            let cluster = if options.no_quotient { None } else { Some(config.clone()) };
+            let anytime = AnytimeConfig { bounds: bounds_config, cluster };
+            let result = run_bounds(&graph, &anytime, Some(&split));
+            print_bounds_progress(&result);
+            results.push(result);
+        }
     }
     if options.no_time {
         for result in &mut results {

@@ -120,6 +120,7 @@ mod tests {
                     rounds: 42,
                     work: 100_000,
                     detail: String::new(),
+                    iterations: None,
                 },
                 RunResult {
                     algorithm: "Δ-stepping".to_string(),
@@ -130,6 +131,7 @@ mod tests {
                     rounds: 900,
                     work: 2_000_000,
                     detail: String::new(),
+                    iterations: None,
                 },
             ],
         }]

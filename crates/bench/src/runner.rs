@@ -3,10 +3,14 @@
 
 use std::time::Instant;
 
-use cldiam_core::{approximate_diameter, ClusterConfig};
-use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_core::approximate_diameter;
+use cldiam_core::{anytime_diameter, anytime_diameter_with_split, AnytimeConfig, ClusterConfig};
+use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
 use cldiam_mr::CostTracker;
-use cldiam_sssp::{delta_stepping_with_scratch, diameter_lower_bound, suggest_delta, SsspScratch};
+use cldiam_sssp::{
+    delta_stepping_with_scratch, diameter_lower_bound, diameter_lower_bound_with_split,
+    suggest_delta, BoundsOutcome, ComponentSplit, SsspScratch,
+};
 
 use crate::json::{object, Value};
 
@@ -30,21 +34,31 @@ pub struct RunResult {
     pub work: u64,
     /// Extra detail (τ, Δ, cluster counts) for the JSON output.
     pub detail: String,
+    /// Per-iteration trace (the bounds engine only; `None` elsewhere).
+    pub iterations: Option<Value>,
 }
 
 impl RunResult {
     /// JSON representation used by [`crate::report::to_json`].
     pub fn to_value(&self) -> Value {
-        object([
+        // An infinite upper bound (non-strongly-connected digraphs) has no
+        // JSON number; emit null, matching the non-finite-f64 convention.
+        let estimate: Value =
+            if self.estimate == INFINITY { Value::Null } else { self.estimate.into() };
+        let mut value = object([
             ("algorithm", self.algorithm.as_str().into()),
-            ("estimate", self.estimate.into()),
+            ("estimate", estimate),
             ("lower_bound", self.lower_bound.into()),
             ("approximation", self.approximation.into()),
             ("time_s", self.time_s.into()),
             ("rounds", self.rounds.into()),
             ("work", self.work.into()),
             ("detail", self.detail.as_str().into()),
-        ])
+        ]);
+        if let (Value::Object(members), Some(iterations)) = (&mut value, &self.iterations) {
+            members.push(("iterations".to_string(), iterations.clone()));
+        }
+        value
     }
 }
 
@@ -52,6 +66,81 @@ impl RunResult {
 /// iterated farthest-node SSSP sweeps.
 pub fn reference_lower_bound(graph: &Graph, seed: u64) -> Dist {
     diameter_lower_bound(graph, 4, seed)
+}
+
+/// [`reference_lower_bound`] over a precomputed [`ComponentSplit`], so one
+/// connectivity pass serves both the reference bound and the bounds engine.
+pub fn reference_lower_bound_with_split(graph: &Graph, seed: u64, split: &ComponentSplit) -> Dist {
+    diameter_lower_bound_with_split(graph, 4, seed, split)
+}
+
+/// Renders a [`BoundsOutcome`] iteration trace as a JSON array.
+fn iterations_to_value(outcome: &BoundsOutcome) -> Value {
+    Value::Array(
+        outcome
+            .iterations
+            .iter()
+            .map(|it| {
+                let source: Value = match it.source {
+                    Some(s) => s.into(),
+                    None => Value::Null,
+                };
+                let upper: Value = if it.upper == INFINITY { Value::Null } else { it.upper.into() };
+                object([
+                    ("source", source),
+                    ("sssp_runs", it.sssp_runs.into()),
+                    ("lower", it.lower.into()),
+                    ("upper", upper),
+                    ("open", it.open.into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Runs the anytime bounds engine (`--algo bounds`). Undirected graphs reuse
+/// the caller's [`ComponentSplit`]; directed graphs pass `None` and are run
+/// whole through the forward/backward engine.
+pub fn run_bounds(
+    graph: &Graph,
+    config: &AnytimeConfig,
+    split: Option<&ComponentSplit>,
+) -> RunResult {
+    let started = Instant::now();
+    let outcome = match split {
+        Some(split) => anytime_diameter_with_split(graph, config, split),
+        None => anytime_diameter(graph, config),
+    };
+    let time_s = started.elapsed().as_secs_f64();
+    let approximation = if outcome.upper == INFINITY {
+        f64::INFINITY
+    } else if outcome.lower == 0 {
+        if outcome.upper == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        outcome.upper as f64 / outcome.lower as f64
+    };
+    RunResult {
+        algorithm: "bounds".to_string(),
+        estimate: outcome.upper,
+        lower_bound: outcome.lower,
+        approximation,
+        time_s,
+        rounds: outcome.sssp_runs as u64,
+        work: 0,
+        detail: format!(
+            "budget={} tolerance={} oracle={} converged={} sssp={}",
+            config.bounds.max_sssp,
+            config.bounds.tolerance,
+            if config.cluster.is_some() { "quotient" } else { "off" },
+            outcome.converged,
+            outcome.sssp_runs
+        ),
+        iterations: Some(iterations_to_value(&outcome)),
+    }
 }
 
 /// Runs `CL-DIAM` under an explicit [`ClusterConfig`] — the entry point of
@@ -76,6 +165,7 @@ pub fn run_cldiam_with(graph: &Graph, lower_bound: Dist, config: &ClusterConfig)
             estimate.radius,
             estimate.growing_steps
         ),
+        iterations: None,
     }
 }
 
@@ -129,6 +219,7 @@ pub fn run_delta_stepping_scratch(
         rounds: outcome.phases,
         work: outcome.work(),
         detail: format!("delta={delta} source={source}"),
+        iterations: None,
     }
 }
 

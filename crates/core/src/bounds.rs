@@ -1,0 +1,127 @@
+//! Anytime diameter bounds with the CL-DIAM quotient oracle plugged in.
+//!
+//! The engine itself lives in `cldiam_sssp::bounds` and is deliberately
+//! oblivious to clustering; this module supplies the glue that makes it the
+//! paper-flavoured *anytime* algorithm: the oracle consulted mid-run is a
+//! full CL-DIAM pipeline (`Φ(G_C) + 2·R`), so a handful of adaptive SSSPs
+//! and one clustering pass cooperate on the same shrinking interval instead
+//! of running as two unrelated fixed-budget pipelines.
+
+use cldiam_graph::{Dist, Graph};
+use cldiam_sssp::{bounds_diameter_with_split, BoundsConfig, BoundsOutcome, ComponentSplit};
+
+use crate::config::ClusterConfig;
+use crate::diameter::approximate_diameter;
+
+/// Configuration of the anytime bound-tightening run.
+#[derive(Clone, Debug, Default)]
+pub struct AnytimeConfig {
+    /// Engine knobs: SSSP budget, tolerance, oracle timing.
+    pub bounds: BoundsConfig,
+    /// Clustering configuration for the quotient upper-bound oracle;
+    /// `None` disables the oracle and runs pure interval tightening.
+    pub cluster: Option<ClusterConfig>,
+}
+
+impl AnytimeConfig {
+    /// Engine knobs, builder style.
+    pub fn with_bounds(mut self, bounds: BoundsConfig) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Enables the CL-DIAM quotient oracle with the given clustering
+    /// configuration.
+    pub fn with_cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
+
+    /// Disables the quotient oracle.
+    pub fn without_cluster(mut self) -> Self {
+        self.cluster = None;
+        self
+    }
+}
+
+/// Runs the anytime engine over a precomputed component split (undirected
+/// graphs only — see [`anytime_diameter`] for the directed dispatch).
+pub fn anytime_diameter_with_split(
+    graph: &Graph,
+    config: &AnytimeConfig,
+    split: &ComponentSplit,
+) -> BoundsOutcome {
+    let oracle = config
+        .cluster
+        .as_ref()
+        .map(|c| move |g: &Graph| -> Dist { approximate_diameter(g, c).upper_bound });
+    match &oracle {
+        Some(f) => bounds_diameter_with_split(graph, &config.bounds, Some(f), split),
+        None => bounds_diameter_with_split(graph, &config.bounds, None, split),
+    }
+}
+
+/// Runs the anytime `[lb, ub]` engine: undirected graphs are component-split
+/// and bounded per component, directed graphs run the forward/backward
+/// engine (where the quotient oracle — whose clustering is undirected-only —
+/// is never consulted).
+pub fn anytime_diameter(graph: &Graph, config: &AnytimeConfig) -> BoundsOutcome {
+    if graph.is_directed() {
+        // CL-DIAM clustering is undirected; the directed engine runs without
+        // the oracle regardless of configuration.
+        return cldiam_sssp::bounds_diameter(graph, &config.bounds, None);
+    }
+    anytime_diameter_with_split(graph, config, &ComponentSplit::compute(graph))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cldiam_gen::{mesh, rmat, RmatParams, WeightModel};
+    use cldiam_sssp::exact_diameter;
+
+    #[test]
+    fn oracle_run_still_brackets_the_exact_diameter() {
+        let g = mesh(10, WeightModel::UniformUnit, 5);
+        let exact = exact_diameter(&g);
+        let config = AnytimeConfig::default()
+            .with_bounds(BoundsConfig::default().with_quotient_after(2))
+            .with_cluster(ClusterConfig::default().with_tau(4).with_seed(7));
+        let outcome = anytime_diameter(&g, &config);
+        assert!(outcome.lower <= exact && exact <= outcome.upper);
+        for it in &outcome.iterations {
+            assert!(it.lower <= exact && exact <= it.upper);
+        }
+    }
+
+    #[test]
+    fn oracle_appears_in_the_trace_when_budget_is_tight() {
+        // Two SSSPs will not close an rmat component; the oracle must fire.
+        let g = rmat(RmatParams::paper(8), WeightModel::UniformUnit, 3);
+        let config = AnytimeConfig::default()
+            .with_bounds(BoundsConfig::default().with_max_sssp(3).with_quotient_after(2))
+            .with_cluster(ClusterConfig::default().with_tau(16).with_seed(3));
+        let outcome = anytime_diameter(&g, &config);
+        assert!(
+            outcome.iterations.iter().any(|it| it.source.is_none()),
+            "quotient oracle never consulted"
+        );
+    }
+
+    #[test]
+    fn split_variant_matches_the_convenience_entry_point() {
+        let g = mesh(9, WeightModel::UniformUnit, 1);
+        let config = AnytimeConfig::default()
+            .with_cluster(ClusterConfig::default().with_tau(4).with_seed(1));
+        let split = ComponentSplit::compute(&g);
+        assert_eq!(anytime_diameter_with_split(&g, &config, &split), anytime_diameter(&g, &config));
+    }
+
+    #[test]
+    fn no_oracle_matches_raw_engine() {
+        let g = mesh(8, WeightModel::UniformUnit, 9);
+        let config = AnytimeConfig::default();
+        let raw = cldiam_sssp::bounds_diameter(&g, &config.bounds, None);
+        assert_eq!(anytime_diameter(&g, &config), raw);
+    }
+}

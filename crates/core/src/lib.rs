@@ -17,7 +17,10 @@
 //! * the **weighted quotient graph** and the diameter estimate
 //!   `Φ_approx(G) = Φ(G_C) + 2·R` ([`quotient`], [`diameter`]);
 //! * a literal **MapReduce formulation** of the Δ-growing step on the
-//!   simulated engine of `cldiam-mr` ([`mr_impl`]).
+//!   simulated engine of `cldiam-mr` ([`mr_impl`]);
+//! * the **anytime `[lb, ub]` driver** that plugs the quotient upper bound
+//!   into the interval-tightening engine of `cldiam_sssp::bounds`
+//!   ([`bounds`]).
 //!
 //! The implementation follows the paper's practical configuration (`CL-DIAM`):
 //! decomposition via `CLUSTER`, initial `Δ` equal to the average edge weight
@@ -40,6 +43,7 @@
 //! ```
 
 pub mod atomic_state;
+pub mod bounds;
 pub mod cluster;
 pub mod cluster2;
 pub mod clustering;
@@ -51,6 +55,7 @@ pub mod mr_impl;
 pub mod quotient;
 pub mod state;
 
+pub use bounds::{anytime_diameter, anytime_diameter_with_split, AnytimeConfig};
 pub use cluster::cluster;
 pub use cluster2::cluster2;
 pub use clustering::Clustering;

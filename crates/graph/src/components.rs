@@ -81,7 +81,8 @@ impl UnionFind {
     }
 }
 
-/// Computes connected components with a sequential union-find.
+/// Computes connected components with a sequential union-find. On a directed
+/// graph this yields *weakly* connected components (arc direction ignored).
 pub fn connected_components(graph: &Graph) -> ComponentLabels {
     let n = graph.num_nodes();
     let mut uf = UnionFind::new(n);
@@ -163,6 +164,7 @@ fn canonicalize(n: usize, mut root_of: impl FnMut(u32) -> u32) -> ComponentLabel
 /// their subgraph is a single isolated node, which no distance computation
 /// can say anything interesting about.
 pub fn component_subgraphs(graph: &Graph, labels: &ComponentLabels) -> Vec<(Graph, Vec<NodeId>)> {
+    assert!(!graph.is_directed(), "component_subgraphs expects an undirected graph");
     let sizes = labels.sizes();
     // Dense slot per non-singleton component, in label (= smallest-member)
     // order, and the member list of each.

@@ -1,13 +1,29 @@
-//! Compressed-sparse-row storage for weighted undirected graphs.
+//! Compressed-sparse-row storage for weighted graphs (undirected by
+//! default, with an opt-in directed mode carrying a reverse CSR).
 
 use crate::weight::{Dist, NodeId, Weight};
 
-/// An immutable weighted undirected graph in compressed-sparse-row form.
+/// The incoming-arc adjacency of a directed graph: a second CSR indexed by
+/// arc *target*, parallel in shape to the forward arrays. Within a node the
+/// in-neighbors are sorted by source id (a consequence of the deterministic
+/// counting-sort construction).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ReverseCsr {
+    offsets: Vec<usize>,
+    sources: Vec<NodeId>,
+    weights: Vec<Weight>,
+}
+
+/// An immutable weighted graph in compressed-sparse-row form.
 ///
-/// Every undirected edge `{u, v}` is stored twice (once in the adjacency list
-/// of `u` and once in that of `v`); [`Graph::num_edges`] reports the number of
-/// undirected edges, i.e. half of the stored arcs. Self loops are never
-/// stored. Node identifiers are dense in `0..num_nodes()`.
+/// In the default **undirected** mode every edge `{u, v}` is stored twice
+/// (once in the adjacency list of `u` and once in that of `v`);
+/// [`Graph::num_edges`] reports the number of undirected edges, i.e. half of
+/// the stored arcs. In **directed** mode ([`Graph::is_directed`]) each arc
+/// `u → v` is stored once in the forward adjacency of `u` and once in the
+/// reverse adjacency of `v` ([`Graph::in_neighbors`]), and
+/// [`Graph::num_edges`] counts arcs. Self loops are never stored. Node
+/// identifiers are dense in `0..num_nodes()`.
 ///
 /// Construction goes through [`crate::GraphBuilder`] (or the generator crate),
 /// which guarantees these invariants.
@@ -19,34 +35,90 @@ pub struct Graph {
     targets: Vec<NodeId>,
     /// Arc weights, parallel to `targets`.
     weights: Vec<Weight>,
+    /// Incoming-arc CSR; present exactly when the graph is directed.
+    rev: Option<Box<ReverseCsr>>,
+}
+
+/// Panics unless the CSR arrays are structurally valid (shared by the
+/// undirected and directed constructors).
+fn validate_csr(offsets: &[usize], targets: &[NodeId], weights: &[Weight]) {
+    assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+    assert_eq!(
+        *offsets.last().unwrap(),
+        targets.len(),
+        "last offset must equal the number of arcs"
+    );
+    assert_eq!(targets.len(), weights.len(), "targets and weights must be parallel");
+    let n = offsets.len() - 1;
+    assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be nondecreasing");
+    for (u, window) in offsets.windows(2).enumerate() {
+        for i in window[0]..window[1] {
+            let v = targets[i];
+            assert!((v as usize) < n, "arc target {v} out of range (n = {n})");
+            assert_ne!(v as usize, u, "self loops are not allowed");
+            assert!(weights[i] > 0, "edge weights must be strictly positive");
+        }
+    }
+}
+
+/// The reverse CSR of a forward CSR, built with a deterministic counting
+/// sort: scanning arcs in forward order leaves every in-neighbor list sorted
+/// by source id, independent of any thread count.
+fn reverse_of(offsets: &[usize], targets: &[NodeId], weights: &[Weight]) -> ReverseCsr {
+    let n = offsets.len() - 1;
+    let mut in_degree = vec![0usize; n];
+    for &v in targets {
+        in_degree[v as usize] += 1;
+    }
+    let mut rev_offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    rev_offsets.push(0);
+    for d in &in_degree {
+        acc += d;
+        rev_offsets.push(acc);
+    }
+    let mut cursor = rev_offsets[..n].to_vec();
+    let mut sources = vec![0 as NodeId; targets.len()];
+    let mut rev_weights = vec![0 as Weight; targets.len()];
+    for u in 0..n {
+        for i in offsets[u]..offsets[u + 1] {
+            let v = targets[i] as usize;
+            let slot = cursor[v];
+            cursor[v] += 1;
+            sources[slot] = u as NodeId;
+            rev_weights[slot] = weights[i];
+        }
+    }
+    ReverseCsr { offsets: rev_offsets, sources, weights: rev_weights }
 }
 
 impl Graph {
-    /// Builds a graph directly from CSR arrays.
+    /// Builds an undirected graph directly from CSR arrays.
     ///
     /// # Panics
     ///
     /// Panics if the arrays are inconsistent (wrong offset length, decreasing
     /// offsets, targets out of range, zero weights, or self loops).
     pub fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>, weights: Vec<Weight>) -> Self {
-        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
-        assert_eq!(
-            *offsets.last().unwrap(),
-            targets.len(),
-            "last offset must equal the number of arcs"
-        );
-        assert_eq!(targets.len(), weights.len(), "targets and weights must be parallel");
-        let n = offsets.len() - 1;
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be nondecreasing");
-        for (u, window) in offsets.windows(2).enumerate() {
-            for i in window[0]..window[1] {
-                let v = targets[i];
-                assert!((v as usize) < n, "arc target {v} out of range (n = {n})");
-                assert_ne!(v as usize, u, "self loops are not allowed");
-                assert!(weights[i] > 0, "edge weights must be strictly positive");
-            }
-        }
-        Graph { offsets, targets, weights }
+        validate_csr(&offsets, &targets, &weights);
+        Graph { offsets, targets, weights, rev: None }
+    }
+
+    /// Builds a directed graph from forward CSR arrays; the reverse CSR is
+    /// derived internally with a deterministic counting sort. Arc sets may be
+    /// asymmetric — that is the point.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same structural conditions as [`Graph::from_csr`].
+    pub fn from_directed_csr(
+        offsets: Vec<usize>,
+        targets: Vec<NodeId>,
+        weights: Vec<Weight>,
+    ) -> Self {
+        validate_csr(&offsets, &targets, &weights);
+        let rev = reverse_of(&offsets, &targets, &weights);
+        Graph { offsets, targets, weights, rev: Some(Box::new(rev)) }
     }
 
     /// Builds a graph from an explicit undirected edge list.
@@ -64,7 +136,14 @@ impl Graph {
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], targets: Vec::new(), weights: Vec::new() }
+        Graph { offsets: vec![0; n + 1], targets: Vec::new(), weights: Vec::new(), rev: None }
+    }
+
+    /// `true` if the graph carries a directed arc set (and hence a reverse
+    /// CSR). Undirected graphs answer `false`.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.rev.is_some()
     }
 
     /// Number of nodes.
@@ -73,13 +152,19 @@ impl Graph {
         self.offsets.len() - 1
     }
 
-    /// Number of undirected edges.
+    /// Number of edges: undirected edges for undirected graphs (half the
+    /// stored arcs), arcs for directed graphs.
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.targets.len() / 2
+        if self.is_directed() {
+            self.targets.len()
+        } else {
+            self.targets.len() / 2
+        }
     }
 
-    /// Number of stored arcs (twice the number of undirected edges).
+    /// Number of stored forward arcs (twice [`Graph::num_edges`] for
+    /// undirected graphs, equal to it for directed ones).
     #[inline]
     pub fn num_arcs(&self) -> usize {
         self.targets.len()
@@ -117,10 +202,58 @@ impl Graph {
         (&self.targets[range.clone()], &self.weights[range])
     }
 
-    /// Iterator over undirected edges `(u, v, w)` with `u < v`.
+    /// Iterator over the in-neighbors of `u` with the connecting arc weight.
+    /// On an undirected graph this is the same set as [`Graph::neighbors`].
+    #[inline]
+    pub fn in_neighbors(&self, u: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        let (sources, weights) = self.in_neighbor_slices(u);
+        sources.iter().copied().zip(weights.iter().copied())
+    }
+
+    /// The in-neighbor/weight slices of `u`. Falls back to the forward
+    /// adjacency on undirected graphs, where the two coincide.
+    #[inline]
+    pub fn in_neighbor_slices(&self, u: NodeId) -> (&[NodeId], &[Weight]) {
+        match &self.rev {
+            Some(rev) => {
+                let range = rev.offsets[u as usize]..rev.offsets[u as usize + 1];
+                (&rev.sources[range.clone()], &rev.weights[range])
+            }
+            None => self.neighbor_slices(u),
+        }
+    }
+
+    /// In-degree of node `u` (equal to [`Graph::degree`] when undirected).
+    #[inline]
+    pub fn in_degree(&self, u: NodeId) -> usize {
+        match &self.rev {
+            Some(rev) => rev.offsets[u as usize + 1] - rev.offsets[u as usize],
+            None => self.degree(u),
+        }
+    }
+
+    /// The graph with every arc reversed. A clone for undirected graphs; for
+    /// directed graphs the forward and reverse adjacencies swap roles (the
+    /// counting-sorted in-lists are already sorted by source, so the swapped
+    /// forward lists satisfy the sorted-CSR invariant as-is).
+    pub fn reversed(&self) -> Graph {
+        match &self.rev {
+            None => self.clone(),
+            Some(rev) => Graph::from_directed_csr(
+                rev.offsets.clone(),
+                rev.sources.clone(),
+                rev.weights.clone(),
+            ),
+        }
+    }
+
+    /// Iterator over edges `(u, v, w)`: undirected edges with `u < v` for
+    /// undirected graphs, every arc once for directed graphs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, Weight)> + '_ {
+        let directed = self.is_directed();
         self.nodes().flat_map(move |u| {
-            self.neighbors(u).filter_map(move |(v, w)| if u < v { Some((u, v, w)) } else { None })
+            self.neighbors(u)
+                .filter_map(move |(v, w)| if directed || u < v { Some((u, v, w)) } else { None })
         })
     }
 
@@ -162,18 +295,30 @@ impl Graph {
         Some((total / self.weights.len() as Dist).max(1) as Weight)
     }
 
-    /// Sum of all edge weights (each undirected edge counted once).
+    /// Sum of all edge weights (each undirected edge counted once; each arc
+    /// once for directed graphs).
     pub fn total_weight(&self) -> Dist {
         let total: Dist = self.weights.iter().map(|&w| Dist::from(w)).sum();
-        total / 2
+        if self.is_directed() {
+            total
+        } else {
+            total / 2
+        }
     }
 
-    /// Memory footprint of the CSR arrays, in bytes. Used by the MR model to
-    /// check the "linear total memory" accounting.
+    /// Memory footprint of the CSR arrays (including the reverse CSR of a
+    /// directed graph), in bytes. Used by the MR model to check the "linear
+    /// total memory" accounting.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
+        let forward = self.offsets.len() * std::mem::size_of::<usize>()
             + self.targets.len() * std::mem::size_of::<NodeId>()
-            + self.weights.len() * std::mem::size_of::<Weight>()
+            + self.weights.len() * std::mem::size_of::<Weight>();
+        let reverse = self.rev.as_ref().map_or(0, |rev| {
+            rev.offsets.len() * std::mem::size_of::<usize>()
+                + rev.sources.len() * std::mem::size_of::<NodeId>()
+                + rev.weights.len() * std::mem::size_of::<Weight>()
+        });
+        forward + reverse
     }
 
     /// Raw CSR offset array (`offsets[u]..offsets[u+1]` indexes the arcs of
@@ -280,5 +425,55 @@ mod tests {
     fn memory_accounting_positive() {
         let g = triangle();
         assert!(g.memory_bytes() > 0);
+    }
+
+    /// A directed triangle cycle 0→1→2→0 plus a chord 0→2.
+    fn directed_cycle() -> Graph {
+        Graph::from_directed_csr(vec![0, 2, 3, 4], vec![1, 2, 2, 0], vec![10, 40, 20, 30])
+    }
+
+    #[test]
+    fn directed_counts_and_queries() {
+        let g = directed_cycle();
+        assert!(g.is_directed());
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.total_weight(), 100);
+        let out0: Vec<_> = g.neighbors(0).collect();
+        assert_eq!(out0, vec![(1, 10), (2, 40)]);
+        let in2: Vec<_> = g.in_neighbors(2).collect();
+        assert_eq!(in2, vec![(0, 40), (1, 20)]);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.in_degree(2), 2);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1, 10), (0, 2, 40), (1, 2, 20), (2, 0, 30)]);
+    }
+
+    #[test]
+    fn reversed_swaps_adjacencies() {
+        let g = directed_cycle();
+        let r = g.reversed();
+        assert!(r.is_directed());
+        let out2: Vec<_> = r.neighbors(2).collect();
+        assert_eq!(out2, vec![(0, 40), (1, 20)]);
+        let in0: Vec<_> = r.in_neighbors(0).collect();
+        assert_eq!(in0, vec![(1, 10), (2, 40)]);
+        // Reversing twice restores the original graph bit-for-bit.
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn undirected_in_neighbors_match_out_neighbors() {
+        let g = triangle();
+        assert!(!g.is_directed());
+        for u in g.nodes() {
+            let out: Vec<_> = g.neighbors(u).collect();
+            let inn: Vec<_> = g.in_neighbors(u).collect();
+            assert_eq!(out, inn);
+            assert_eq!(g.degree(u), g.in_degree(u));
+        }
+        assert_eq!(g.reversed(), g);
     }
 }

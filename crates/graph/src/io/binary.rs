@@ -54,7 +54,17 @@ fn write_section<W: Write>(out: &mut W, payload: &[u8]) -> std::io::Result<()> {
 }
 
 /// Serializes the graph as a binary snapshot.
+///
+/// Directed graphs are refused: format v1 stores only the forward arrays and
+/// [`parse_binary`] validates arc symmetry, so a directed snapshot would
+/// either fail to load or silently come back symmetrized.
 pub fn write_binary<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
+    if graph.is_directed() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "binary snapshots (format v1) only support undirected graphs",
+        ));
+    }
     let mut out = BufWriter::new(writer);
     let mut header = Vec::with_capacity(24);
     header.extend_from_slice(MAGIC);
@@ -361,6 +371,15 @@ mod tests {
         let buf = forge(&[0, 1, 2], &[1, 0], &[5, 5]);
         let g = parse_binary(&buf).unwrap();
         assert_eq!(g, Graph::from_edges(2, &[(0, 1, 5)]));
+    }
+
+    #[test]
+    fn refuses_directed_graphs() {
+        let mut b = crate::GraphBuilder::new_directed(2);
+        b.add_arc(0, 1, 3);
+        let g = b.build();
+        let err = write_binary(&g, &mut Vec::new()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
     }
 
     #[test]

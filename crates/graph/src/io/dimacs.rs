@@ -22,9 +22,11 @@
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::builder::GraphBuilder;
 use crate::csr::Graph;
-use crate::io::{parse_lines_parallel, IoError};
+use crate::io::{
+    count_asymmetric_arcs, graph_from_arcs, parse_lines_parallel, EdgeDirection, IoError,
+    LoadedGraph,
+};
 use crate::weight::{NodeId, Weight};
 
 /// The parsed `p sp <n> <m>` header.
@@ -149,9 +151,11 @@ fn parse_arc(line: &str, num_nodes: usize) -> Result<(NodeId, NodeId, Weight), S
     Ok((u, v, w as Weight))
 }
 
-/// Parses a DIMACS `.gr` document from raw bytes (header sequentially, arc
-/// section parallel over newline-aligned chunks).
-pub fn parse_dimacs_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
+/// A raw parsed arc list: `(u, v, w)` in file order.
+type ArcList = Vec<(NodeId, NodeId, Weight)>;
+
+/// Parses the header and the full arc section of a DIMACS document.
+fn parse_arc_section(bytes: &[u8]) -> Result<(Header, ArcList), IoError> {
     let header = parse_header(bytes)?;
     let arcs =
         parse_lines_parallel(&bytes[header.body_offset..], header.body_first_line, |_, line| {
@@ -172,9 +176,25 @@ pub fn parse_dimacs_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
             arcs.len()
         )));
     }
-    let mut builder = GraphBuilder::with_capacity(header.num_nodes, arcs.len());
-    builder.extend_edges(arcs);
-    Ok(builder.build())
+    Ok((header, arcs))
+}
+
+/// Parses a DIMACS `.gr` document from raw bytes (header sequentially, arc
+/// section parallel over newline-aligned chunks).
+pub fn parse_dimacs_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
+    let (header, arcs) = parse_arc_section(bytes)?;
+    Ok(graph_from_arcs(header.num_nodes, &arcs, EdgeDirection::Symmetrize))
+}
+
+/// Parses a DIMACS document with an explicit [`EdgeDirection`], also counting
+/// the arcs whose reverse is absent (directedness evidence for the caller).
+pub fn parse_dimacs_bytes_as(
+    bytes: &[u8],
+    direction: EdgeDirection,
+) -> Result<LoadedGraph, IoError> {
+    let (header, arcs) = parse_arc_section(bytes)?;
+    let asymmetric_arcs = count_asymmetric_arcs(&arcs);
+    Ok(LoadedGraph { graph: graph_from_arcs(header.num_nodes, &arcs, direction), asymmetric_arcs })
 }
 
 /// Parses a DIMACS document stored in a string.
@@ -302,6 +322,26 @@ mod tests {
         write_dimacs(&g, &mut buf).unwrap();
         let parsed = read_dimacs(io::Cursor::new(buf)).unwrap();
         assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn directed_mode_keeps_one_way_arcs() {
+        let loaded = parse_dimacs_bytes_as(SMALL.as_bytes(), EdgeDirection::Directed).unwrap();
+        assert!(loaded.graph.is_directed());
+        // Arcs 1↔2 are mutual; 2→3, 3→4, 4→1 are one-way.
+        assert_eq!(loaded.graph.num_edges(), 5);
+        assert_eq!(loaded.graph.edge_weight(0, 1), Some(10));
+        assert_eq!(loaded.graph.edge_weight(1, 0), Some(10));
+        assert_eq!(loaded.graph.edge_weight(2, 1), None);
+        assert_eq!(loaded.asymmetric_arcs, 3);
+    }
+
+    #[test]
+    fn symmetrize_mode_matches_plain_parse() {
+        let loaded = parse_dimacs_bytes_as(SMALL.as_bytes(), EdgeDirection::Symmetrize).unwrap();
+        assert!(!loaded.graph.is_directed());
+        assert_eq!(loaded.graph, parse_dimacs(SMALL).unwrap());
+        assert_eq!(loaded.asymmetric_arcs, 3);
     }
 
     #[test]

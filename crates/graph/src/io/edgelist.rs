@@ -12,9 +12,11 @@
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
-use crate::builder::GraphBuilder;
 use crate::csr::Graph;
-use crate::io::{parse_lines_parallel, IoError};
+use crate::io::{
+    count_asymmetric_arcs, graph_from_arcs, parse_lines_parallel, EdgeDirection, IoError,
+    LoadedGraph,
+};
 use crate::weight::{NodeId, Weight};
 
 /// Parses one `u v [w]` payload line (already trimmed, not a comment).
@@ -52,17 +54,31 @@ fn parse_edge(line: &str) -> Result<(NodeId, NodeId, Weight), String> {
     Ok((u, v, w as Weight))
 }
 
-/// Parses an edge list from raw bytes (parallel over newline-aligned chunks).
-pub fn parse_edge_list_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
-    let edges = parse_lines_parallel(bytes, 1, |_, line| {
+/// Parses the raw arc list of an edge-list document.
+fn parse_arc_lines(bytes: &[u8]) -> Result<Vec<(NodeId, NodeId, Weight)>, IoError> {
+    parse_lines_parallel(bytes, 1, |_, line| {
         if line.is_empty() || matches!(line.as_bytes()[0], b'#' | b'%' | b'c') {
             return Ok(None);
         }
         parse_edge(line).map(Some)
-    })?;
-    let mut builder = GraphBuilder::with_capacity(0, edges.len());
-    builder.extend_edges(edges);
-    Ok(builder.build())
+    })
+}
+
+/// Parses an edge list from raw bytes (parallel over newline-aligned chunks).
+pub fn parse_edge_list_bytes(bytes: &[u8]) -> Result<Graph, IoError> {
+    let arcs = parse_arc_lines(bytes)?;
+    Ok(graph_from_arcs(0, &arcs, EdgeDirection::Symmetrize))
+}
+
+/// Parses an edge list with an explicit [`EdgeDirection`], also counting the
+/// arcs whose reverse is absent (directedness evidence for the caller).
+pub fn parse_edge_list_bytes_as(
+    bytes: &[u8],
+    direction: EdgeDirection,
+) -> Result<LoadedGraph, IoError> {
+    let arcs = parse_arc_lines(bytes)?;
+    let asymmetric_arcs = count_asymmetric_arcs(&arcs);
+    Ok(LoadedGraph { graph: graph_from_arcs(0, &arcs, direction), asymmetric_arcs })
 }
 
 /// Parses an edge list stored in a string (convenient for tests and examples).
@@ -178,6 +194,35 @@ mod tests {
         write_edge_list_file(&g, &path).unwrap();
         let parsed = read_edge_list_file(&path).unwrap();
         assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn directed_mode_keeps_one_way_arcs() {
+        let text = "0 1 5\n1 2 3\n2 0 4\n";
+        let loaded = parse_edge_list_bytes_as(text.as_bytes(), EdgeDirection::Directed).unwrap();
+        assert!(loaded.graph.is_directed());
+        assert_eq!(loaded.graph.num_edges(), 3);
+        assert_eq!(loaded.graph.edge_weight(0, 1), Some(5));
+        assert_eq!(loaded.graph.edge_weight(1, 0), None);
+        // Every arc lacks its reverse.
+        assert_eq!(loaded.asymmetric_arcs, 3);
+    }
+
+    #[test]
+    fn symmetric_input_reports_no_asymmetric_arcs() {
+        let text = "0 1 5\n1 0 5\n1 2 3\n2 1 3\n";
+        let loaded = parse_edge_list_bytes_as(text.as_bytes(), EdgeDirection::Symmetrize).unwrap();
+        assert!(!loaded.graph.is_directed());
+        assert_eq!(loaded.asymmetric_arcs, 0);
+        assert_eq!(loaded.graph, parse_edge_list(text).unwrap());
+    }
+
+    #[test]
+    fn asymmetry_count_ignores_weight_mismatches() {
+        // 0→1 and 1→0 exist with different weights: directionally symmetric.
+        let text = "0 1 5\n1 0 7\n0 2 1\n";
+        let loaded = parse_edge_list_bytes_as(text.as_bytes(), EdgeDirection::Symmetrize).unwrap();
+        assert_eq!(loaded.asymmetric_arcs, 1);
     }
 
     #[test]

@@ -33,7 +33,9 @@ use std::path::{Path, PathBuf};
 
 use rayon::prelude::*;
 
+use crate::builder::GraphBuilder;
 use crate::csr::Graph;
+use crate::weight::{NodeId, Weight};
 
 /// Errors produced while reading or writing graph files.
 #[derive(Debug)]
@@ -110,6 +112,65 @@ pub fn detect_format(path: &Path, head: &[u8]) -> FileFormat {
     }
 }
 
+/// How a loader should interpret the arc lines of a text format.
+///
+/// Both text formats store *directed* arcs on disk (SNAP follower links,
+/// DIMACS `a` lines); the historical behaviour — and the
+/// [`EdgeDirection::Symmetrize`] default — folds every arc into an
+/// undirected edge. [`EdgeDirection::Directed`] keeps the arcs one-way and
+/// produces a graph with [`Graph::is_directed`] set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EdgeDirection {
+    /// Fold `u → v` into the undirected edge `{u, v}` (today's behaviour).
+    #[default]
+    Symmetrize,
+    /// Keep every arc one-way.
+    Directed,
+}
+
+/// A loaded graph plus what the loader observed about the raw arc set.
+#[derive(Clone, Debug)]
+pub struct LoadedGraph {
+    /// The constructed graph.
+    pub graph: Graph,
+    /// Number of distinct non-loop arcs `u → v` in the input with no
+    /// companion arc `v → u` (any weight). Nonzero means the input is
+    /// genuinely directed; a symmetrizing load of such a file silently
+    /// invents the missing reverse arcs, and callers should warn.
+    pub asymmetric_arcs: usize,
+}
+
+/// Counts distinct non-loop arcs whose reverse is absent from the input.
+pub(crate) fn count_asymmetric_arcs(arcs: &[(NodeId, NodeId, Weight)]) -> usize {
+    let mut pairs: Vec<(NodeId, NodeId)> =
+        arcs.iter().filter(|&&(u, v, _)| u != v).map(|&(u, v, _)| (u, v)).collect();
+    pairs.par_sort_unstable();
+    pairs.dedup();
+    pairs.par_iter().filter(|&&(u, v)| pairs.binary_search(&(v, u)).is_err()).count()
+}
+
+/// Builds a graph from a parsed arc list according to `direction`.
+pub(crate) fn graph_from_arcs(
+    num_nodes: usize,
+    arcs: &[(NodeId, NodeId, Weight)],
+    direction: EdgeDirection,
+) -> Graph {
+    match direction {
+        EdgeDirection::Symmetrize => {
+            let mut builder = GraphBuilder::with_capacity(num_nodes, arcs.len());
+            builder.extend_edges(arcs.iter().copied());
+            builder.build()
+        }
+        EdgeDirection::Directed => {
+            let mut builder = GraphBuilder::new_directed(num_nodes);
+            for &(u, v, w) in arcs {
+                builder.add_arc(u, v, w);
+            }
+            builder.build()
+        }
+    }
+}
+
 /// Loads a graph from `path`, auto-detecting the format with
 /// [`detect_format`]. Text formats are parsed in parallel on the current
 /// rayon pool.
@@ -126,6 +187,42 @@ pub fn load_graph_bytes(path: &Path, bytes: &[u8]) -> Result<Graph, IoError> {
         FileFormat::Binary => binary::parse_binary(bytes),
         FileFormat::Dimacs => dimacs::parse_dimacs_bytes(bytes),
         FileFormat::EdgeList => edgelist::parse_edge_list_bytes(bytes),
+    }
+}
+
+/// Loads a graph with an explicit [`EdgeDirection`], also reporting how many
+/// input arcs lack their reverse (see [`LoadedGraph::asymmetric_arcs`]).
+///
+/// Binary snapshots store undirected CSR arrays only, so requesting
+/// [`EdgeDirection::Directed`] on one is a [`IoError::Format`] error.
+pub fn load_graph_as<P: AsRef<Path>>(
+    path: P,
+    direction: EdgeDirection,
+) -> Result<LoadedGraph, IoError> {
+    let path = path.as_ref();
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    load_graph_bytes_as(path, &bytes, direction)
+}
+
+/// [`load_graph_as`] over an in-memory buffer.
+pub fn load_graph_bytes_as(
+    path: &Path,
+    bytes: &[u8],
+    direction: EdgeDirection,
+) -> Result<LoadedGraph, IoError> {
+    match detect_format(path, &bytes[..bytes.len().min(4096)]) {
+        FileFormat::Binary => match direction {
+            EdgeDirection::Symmetrize => {
+                Ok(LoadedGraph { graph: binary::parse_binary(bytes)?, asymmetric_arcs: 0 })
+            }
+            EdgeDirection::Directed => Err(IoError::Format(
+                "binary snapshots are undirected; load the original text file in directed mode"
+                    .to_string(),
+            )),
+        },
+        FileFormat::Dimacs => dimacs::parse_dimacs_bytes_as(bytes, direction),
+        FileFormat::EdgeList => edgelist::parse_edge_list_bytes_as(bytes, direction),
     }
 }
 
@@ -329,5 +426,28 @@ mod tests {
     #[test]
     fn snapshot_path_appends_extension() {
         assert_eq!(snapshot_path(Path::new("a/roads.gr")), PathBuf::from("a/roads.gr.cldg"));
+    }
+
+    #[test]
+    fn directed_load_of_binary_snapshot_is_refused() {
+        let g = Graph::from_edges(3, &[(0, 1, 2), (1, 2, 3)]);
+        let mut buf = Vec::new();
+        binary::write_binary(&g, &mut buf).unwrap();
+        let err =
+            load_graph_bytes_as(Path::new("x.cldg"), &buf, EdgeDirection::Directed).unwrap_err();
+        assert!(matches!(err, IoError::Format(m) if m.contains("undirected")));
+        let ok = load_graph_bytes_as(Path::new("x.cldg"), &buf, EdgeDirection::Symmetrize).unwrap();
+        assert_eq!(ok.graph, g);
+        assert_eq!(ok.asymmetric_arcs, 0);
+    }
+
+    #[test]
+    fn load_graph_as_matches_load_graph_on_symmetrize() {
+        let text = b"0 1 5\n1 2 3\n";
+        let path = Path::new("x.txt");
+        let plain = load_graph_bytes(path, text).unwrap();
+        let loaded = load_graph_bytes_as(path, text, EdgeDirection::Symmetrize).unwrap();
+        assert_eq!(loaded.graph, plain);
+        assert_eq!(loaded.asymmetric_arcs, 2);
     }
 }

@@ -46,7 +46,10 @@ pub use components::{
 };
 pub use csr::Graph;
 pub use io::edgelist;
-pub use io::{detect_format, load_graph, load_graph_cached, FileFormat, IoError};
+pub use io::{
+    detect_format, load_graph, load_graph_as, load_graph_cached, EdgeDirection, FileFormat,
+    IoError, LoadedGraph,
+};
 pub use stats::GraphStats;
 pub use weight::{
     dist_to_unit, weight_from_unit, weight_to_unit, Dist, NodeId, Weight, INFINITY, WEIGHT_SCALE,

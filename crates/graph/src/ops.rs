@@ -21,6 +21,7 @@ use crate::weight::{NodeId, Weight};
 ///
 /// Panics if the product would exceed `u32::MAX` nodes.
 pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
+    assert!(!g.is_directed() && !h.is_directed(), "cartesian_product expects undirected factors");
     let ng = g.num_nodes();
     let nh = h.num_nodes();
     let product = ng.checked_mul(nh).expect("product size overflow");
@@ -47,18 +48,30 @@ pub fn cartesian_product(g: &Graph, h: &Graph) -> Graph {
 /// Induced subgraph on `nodes` (which must not contain duplicates).
 ///
 /// Node `nodes[i]` of the original graph becomes node `i` of the subgraph.
+/// Directedness is preserved: the induced subgraph of a directed graph keeps
+/// exactly the arcs whose endpoints both survive.
 pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> Graph {
     let mut new_id = vec![NodeId::MAX; graph.num_nodes()];
     for (i, &u) in nodes.iter().enumerate() {
         assert_eq!(new_id[u as usize], NodeId::MAX, "duplicate node {u} in induced_subgraph");
         new_id[u as usize] = i as NodeId;
     }
-    let mut builder = GraphBuilder::new(nodes.len());
+    let directed = graph.is_directed();
+    let mut builder = if directed {
+        GraphBuilder::new_directed(nodes.len())
+    } else {
+        GraphBuilder::new(nodes.len())
+    };
     for &u in nodes {
         let nu = new_id[u as usize];
         for (v, w) in graph.neighbors(u) {
             let nv = new_id[v as usize];
-            if nv != NodeId::MAX && nu < nv {
+            if nv == NodeId::MAX {
+                continue;
+            }
+            if directed {
+                builder.add_arc(nu, nv, w);
+            } else if nu < nv {
                 builder.add_edge(nu, nv, w);
             }
         }
@@ -72,6 +85,7 @@ pub fn induced_subgraph(graph: &Graph, nodes: &[NodeId]) -> Graph {
 ///
 /// Panics if `perm` is not a permutation of `0..num_nodes`.
 pub fn relabel(graph: &Graph, perm: &[NodeId]) -> Graph {
+    assert!(!graph.is_directed(), "relabel expects an undirected graph");
     let n = graph.num_nodes();
     assert_eq!(perm.len(), n, "permutation length mismatch");
     let mut seen = vec![false; n];
@@ -90,6 +104,7 @@ pub fn relabel(graph: &Graph, perm: &[NodeId]) -> Graph {
 /// positive). Useful to re-draw weights on a fixed topology, as the paper does
 /// for the "born unweighted" social graphs.
 pub fn map_weights(graph: &Graph, mut f: impl FnMut(NodeId, NodeId, Weight) -> Weight) -> Graph {
+    assert!(!graph.is_directed(), "map_weights expects an undirected graph");
     let mut builder = GraphBuilder::new(graph.num_nodes());
     for (u, v, w) in graph.edges() {
         builder.add_edge(u, v, f(u, v, w).max(1));
@@ -154,6 +169,23 @@ mod tests {
     fn induced_subgraph_rejects_duplicates() {
         let g = path(3, 1);
         induced_subgraph(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_direction() {
+        // Arcs 0→1, 1→2, 2→0, 3→1; keep {0, 1, 2}.
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_arc(0, 1, 1);
+        b.add_arc(1, 2, 2);
+        b.add_arc(2, 0, 3);
+        b.add_arc(3, 1, 9);
+        let g = b.build();
+        let sub = induced_subgraph(&g, &[0, 1, 2]);
+        assert!(sub.is_directed());
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.edge_weight(0, 1), Some(1));
+        assert_eq!(sub.edge_weight(1, 0), None);
+        assert_eq!(sub.edge_weight(2, 0), Some(3));
     }
 
     #[test]

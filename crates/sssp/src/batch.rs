@@ -36,13 +36,31 @@ use rayon::prelude::*;
 
 use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
 
+/// Which adjacency a directed scratch run traverses.
+///
+/// [`SsspDirection::Forward`] follows arcs `u → v` and computes distances
+/// *from* the source; [`SsspDirection::Backward`] follows them in reverse
+/// (via the reverse CSR) and computes distances *to* the source. On an
+/// undirected graph the two coincide.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SsspDirection {
+    /// Distances from the source along out-arcs.
+    #[default]
+    Forward,
+    /// Distances to the source along in-arcs.
+    Backward,
+}
+
 /// Reusable single-source shortest-path state: tentative distances, the
-/// Dijkstra heap, and the reached list used for `O(reached)` resets.
+/// Dijkstra heap, the reached list used for `O(reached)` resets, and a
+/// seen-bitmap for sweep chains (see [`DijkstraScratch::sweep_mark`]).
 #[derive(Debug, Default)]
 pub struct DijkstraScratch {
     dist: Vec<Dist>,
     heap: BinaryHeap<Reverse<(Dist, NodeId)>>,
     reached: Vec<NodeId>,
+    swept: Vec<bool>,
+    swept_list: Vec<NodeId>,
 }
 
 impl DijkstraScratch {
@@ -67,6 +85,13 @@ impl DijkstraScratch {
     ///
     /// Panics if `source` is not a node of `graph`.
     pub fn run(&mut self, graph: &Graph, source: NodeId) {
+        self.run_directed(graph, source, SsspDirection::Forward)
+    }
+
+    /// [`DijkstraScratch::run`] with an explicit traversal direction. A
+    /// backward run relaxes in-arcs, so `distance(v)` afterwards is the
+    /// shortest-path weight from `v` *to* the source.
+    pub fn run_directed(&mut self, graph: &Graph, source: NodeId, direction: SsspDirection) {
         let n = graph.num_nodes();
         assert!((source as usize) < n, "source {source} out of range (n = {n})");
         self.ensure(n);
@@ -82,7 +107,11 @@ impl DijkstraScratch {
             if d > self.dist[u as usize] {
                 continue; // stale entry
             }
-            for (v, w) in graph.neighbors(u) {
+            let (neighbors, weights) = match direction {
+                SsspDirection::Forward => graph.neighbor_slices(u),
+                SsspDirection::Backward => graph.in_neighbor_slices(u),
+            };
+            for (&v, &w) in neighbors.iter().zip(weights) {
                 let candidate = d + Dist::from(w);
                 if candidate < self.dist[v as usize] {
                     if self.dist[v as usize] == INFINITY {
@@ -125,6 +154,31 @@ impl DijkstraScratch {
             .max()
             .map(|(_, v)| v)
             .expect("farthest_node requires a completed run")
+    }
+
+    /// Clears the sweep seen-bitmap in `O(previously marked)`. Call once
+    /// before a sweep chain; the bitmap survives [`DijkstraScratch::run`]
+    /// calls so chains can interleave runs and marks.
+    pub fn sweep_clear(&mut self) {
+        for v in self.swept_list.drain(..) {
+            self.swept[v as usize] = false;
+        }
+    }
+
+    /// Marks `v` as visited by the current sweep chain. Returns `true` when
+    /// `v` was newly marked, `false` when it had already been seen — the
+    /// O(1) replacement for the `Vec::contains` repeat check that made long
+    /// sweep chains quadratic in their budget.
+    pub fn sweep_mark(&mut self, v: NodeId) -> bool {
+        if self.swept.len() <= v as usize {
+            self.swept.resize(v as usize + 1, false);
+        }
+        if self.swept[v as usize] {
+            return false;
+        }
+        self.swept[v as usize] = true;
+        self.swept_list.push(v);
+        true
     }
 }
 
@@ -245,6 +299,62 @@ mod tests {
         let sources = [24u32, 0, 12];
         let tagged = multi_source_dijkstra(&g, &sources, |s, scratch| (s, scratch.distance(s)));
         assert_eq!(tagged, vec![(24, 0), (0, 0), (12, 0)]);
+    }
+
+    #[test]
+    fn backward_run_matches_forward_on_reversed_graph() {
+        // Directed cycle with a chord: 0→1 (2), 1→2 (3), 2→0 (5), 0→2 (9).
+        let mut b = cldiam_graph::GraphBuilder::new_directed(3);
+        b.add_arc(0, 1, 2);
+        b.add_arc(1, 2, 3);
+        b.add_arc(2, 0, 5);
+        b.add_arc(0, 2, 9);
+        let g = b.build();
+        let r = g.reversed();
+        let mut backward = DijkstraScratch::new();
+        let mut forward = DijkstraScratch::new();
+        for s in 0..3 {
+            backward.run_directed(&g, s, SsspDirection::Backward);
+            forward.run(&r, s);
+            for v in 0..3 {
+                assert_eq!(backward.distance(v), forward.distance(v), "source {s} node {v}");
+            }
+            assert_eq!(backward.eccentricity(), forward.eccentricity());
+            assert_eq!(backward.farthest_node(), forward.farthest_node());
+        }
+    }
+
+    #[test]
+    fn directed_runs_on_undirected_graphs_are_direction_blind() {
+        let g = mesh(5, WeightModel::UniformUnit, 8);
+        let mut a = DijkstraScratch::new();
+        let mut b = DijkstraScratch::new();
+        a.run_directed(&g, 7, SsspDirection::Forward);
+        b.run_directed(&g, 7, SsspDirection::Backward);
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(a.distance(v), b.distance(v));
+        }
+    }
+
+    #[test]
+    fn sweep_bitmap_marks_once_and_resets() {
+        let mut scratch = DijkstraScratch::new();
+        assert!(scratch.sweep_mark(5));
+        assert!(!scratch.sweep_mark(5));
+        assert!(scratch.sweep_mark(2));
+        scratch.sweep_clear();
+        assert!(scratch.sweep_mark(5));
+        assert!(scratch.sweep_mark(2));
+    }
+
+    #[test]
+    fn sweep_bitmap_survives_runs() {
+        let g = mesh(4, WeightModel::UniformUnit, 1);
+        let mut scratch = DijkstraScratch::new();
+        scratch.sweep_clear();
+        assert!(scratch.sweep_mark(0));
+        scratch.run(&g, 0);
+        assert!(!scratch.sweep_mark(0), "runs must not clear the sweep bitmap");
     }
 
     #[test]

@@ -1,0 +1,722 @@
+//! Anytime `[lb, ub]` diameter bound-tightening.
+//!
+//! The fixed-budget drivers of [`crate::diameter`] spend their SSSPs blindly:
+//! `diameter_lower_bound` always runs its full sweep budget and CL-DIAM
+//! always pays a complete clustering, even when three well-chosen SSSPs
+//! would already close the interval. This module implements the adaptive
+//! alternative of Magnien–Latapy–Habib (arXiv:0904.2728) and
+//! Takes–Kosters' BoundingDiameters / iFUB: maintain a per-node
+//! eccentricity interval `[ecc_lb[v], ecc_ub[v]]`, tighten every interval
+//! after each SSSP with
+//!
+//! ```text
+//! ecc_lb[v] ≥ max(d(s, v), ecc(s) − d(s, v))
+//! ecc_ub[v] ≤ ecc(s) + d(s, v)
+//! ```
+//!
+//! pick the next source as the active node of maximum interval width, and
+//! stop as soon as the diameter interval `[max lb, max-over-candidates ub]`
+//! closes (or a budget / tolerance is hit). The first two sources form a
+//! 2-sweep (max-degree node, then the farthest node it reaches) so the
+//! classic sweep-chain lower bound is folded into the same SSSPs, and an
+//! optional *oracle* — in production CL-DIAM's quotient upper bound, wired
+//! up in `cldiam-core` — is consulted once mid-run to cap every interval.
+//!
+//! Directed graphs run a forward+backward Dijkstra pair per iteration
+//! (Roditty–Vassilevska Williams frame diameter approximation this way,
+//! arXiv:1207.3622). The interval rules above are only sound when every
+//! node reaches every other, so the engine detects strong connectivity from
+//! the first pair's reach counts: strongly connected digraphs get the full
+//! interval machinery with the directed rules
+//!
+//! ```text
+//! ecc_lb[v] ≥ max(d(v, s), ecc_f(s) − d(s, v))
+//! ecc_ub[v] ≤ d(v, s) + ecc_f(s)
+//! ```
+//!
+//! (`ecc_f` the forward eccentricity; on symmetric inputs these reduce
+//! exactly to the undirected rules), while non-strongly-connected digraphs
+//! fall back to an alternating forward/backward sweep chain (2-dSweep) that
+//! reports a lower bound only and an infinite upper bound.
+//!
+//! Everything runs through the reusable [`DijkstraScratch`] machinery of
+//! [`crate::batch`]; multi-component undirected graphs are split once (see
+//! [`ComponentSplit`]) and bounded per component in parallel, keeping
+//! results bit-identical at any thread count.
+
+use std::cmp::Reverse;
+
+use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use rayon::prelude::*;
+
+use crate::batch::{DijkstraScratch, SsspDirection};
+use crate::diameter::ComponentSplit;
+
+/// Tuning knobs of the bounds engine.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundsConfig {
+    /// Maximum number of SSSP runs per connected component (a directed
+    /// iteration spends two: one forward, one backward).
+    pub max_sssp: usize,
+    /// Stop once `upper ≤ tolerance · lower`; `1.0` demands the exact
+    /// diameter, `1.1` a 10%-tight interval.
+    pub tolerance: f64,
+    /// Consult the oracle (when one is supplied) once this many SSSP runs
+    /// have not closed the interval.
+    pub quotient_after: usize,
+}
+
+impl Default for BoundsConfig {
+    fn default() -> Self {
+        BoundsConfig { max_sssp: 64, tolerance: 1.0, quotient_after: 4 }
+    }
+}
+
+impl BoundsConfig {
+    /// Sets the per-component SSSP budget.
+    pub fn with_max_sssp(mut self, max_sssp: usize) -> Self {
+        self.max_sssp = max_sssp;
+        self
+    }
+
+    /// Sets the stopping tolerance (clamped to at least 1.0).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = if tolerance.is_finite() { tolerance.max(1.0) } else { 1.0 };
+        self
+    }
+
+    /// Sets how many SSSPs run before the oracle is consulted.
+    pub fn with_quotient_after(mut self, quotient_after: usize) -> Self {
+        self.quotient_after = quotient_after;
+        self
+    }
+}
+
+/// One recorded step of the engine: the state of the diameter interval after
+/// an SSSP (or after the oracle capped the intervals).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsIteration {
+    /// SSSP source of this iteration in original node ids; `None` for the
+    /// oracle step, which runs no SSSP.
+    pub source: Option<NodeId>,
+    /// Cumulative SSSP runs spent when this iteration finished.
+    pub sssp_runs: usize,
+    /// Diameter lower bound after the iteration.
+    pub lower: Dist,
+    /// Diameter upper bound after the iteration ([`INFINITY`] while unknown).
+    pub upper: Dist,
+    /// Number of nodes whose eccentricity interval is still open *and* whose
+    /// upper bound could still raise the diameter.
+    pub open: usize,
+}
+
+/// Final state of a bounds run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundsOutcome {
+    /// Certified diameter lower bound.
+    pub lower: Dist,
+    /// Certified diameter upper bound ([`INFINITY`] when the input is a
+    /// non-strongly-connected digraph, where only the lower bound is sound).
+    pub upper: Dist,
+    /// Total SSSP runs spent.
+    pub sssp_runs: usize,
+    /// `true` when the interval closed to the configured tolerance before
+    /// the budget ran out.
+    pub converged: bool,
+    /// Per-iteration trace, in execution order (component by component for
+    /// disconnected inputs).
+    pub iterations: Vec<BoundsIteration>,
+}
+
+impl BoundsOutcome {
+    fn trivial() -> Self {
+        BoundsOutcome { lower: 0, upper: 0, sssp_runs: 0, converged: true, iterations: Vec::new() }
+    }
+}
+
+/// An optional diameter-upper-bound oracle: given a (component) graph,
+/// return an upper bound on its diameter. In production this is CL-DIAM's
+/// quotient bound `Φ(G_C) + 2R`, wired up by `cldiam-core`.
+pub type BoundsOracle<'a> = Option<&'a (dyn Fn(&Graph) -> Dist + Sync)>;
+
+/// `upper ≤ tolerance · lower`, with the interval closed and finite.
+fn within_tolerance(lower: Dist, upper: Dist, tolerance: f64) -> bool {
+    upper != INFINITY && (upper == lower || (upper as f64) <= tolerance * (lower as f64))
+}
+
+/// Interval state of one engine run, shared by the undirected and
+/// strongly-connected-directed modes.
+struct Intervals {
+    lb: Vec<Dist>,
+    ub: Vec<Dist>,
+    /// Lower bound on the diameter (the largest certified eccentricity
+    /// lower bound folded with every observed `ecc(s)`).
+    diam_lb: Dist,
+}
+
+impl Intervals {
+    fn new(n: usize) -> Self {
+        Intervals { lb: vec![0; n], ub: vec![INFINITY; n], diam_lb: 0 }
+    }
+
+    /// Diameter upper bound: the largest per-node upper bound that could
+    /// still exceed the certified lower bound (never below `diam_lb`).
+    fn diam_ub(&self) -> Dist {
+        let over = self.ub.iter().copied().filter(|&u| u > self.diam_lb).max().unwrap_or(0);
+        over.max(self.diam_lb)
+    }
+
+    /// Nodes whose interval is open and whose upper bound could still raise
+    /// the diameter — the candidate pool for source selection.
+    fn open_count(&self) -> usize {
+        (0..self.lb.len()).filter(|&v| self.lb[v] < self.ub[v] && self.ub[v] > self.diam_lb).count()
+    }
+
+    /// The open node of maximum interval width (ties: larger degree, then
+    /// smaller id), or `None` when the pool is empty.
+    fn widest_open(&self, graph: &Graph) -> Option<NodeId> {
+        (0..self.lb.len() as NodeId)
+            .filter(|&v| {
+                self.lb[v as usize] < self.ub[v as usize] && self.ub[v as usize] > self.diam_lb
+            })
+            .max_by_key(|&v| {
+                let width = self.ub[v as usize].saturating_sub(self.lb[v as usize]);
+                (width, graph.degree(v), Reverse(v))
+            })
+    }
+
+    /// Caps every upper bound by an oracle-certified diameter bound.
+    fn apply_cap(&mut self, cap: Dist) {
+        for u in &mut self.ub {
+            *u = (*u).min(cap);
+        }
+    }
+}
+
+/// Runs the interval engine on one *connected undirected* graph. `mapping`
+/// translates local ids to original ids for the iteration trace (`None` =
+/// identity).
+fn bound_connected(
+    graph: &Graph,
+    config: &BoundsConfig,
+    oracle: BoundsOracle<'_>,
+    mapping: Option<&[NodeId]>,
+) -> BoundsOutcome {
+    let n = graph.num_nodes();
+    if n <= 1 {
+        return BoundsOutcome::trivial();
+    }
+    let original = |v: NodeId| mapping.map_or(v, |m| m[v as usize]);
+    let mut state = Intervals::new(n);
+    let mut scratch = DijkstraScratch::new();
+    let mut iterations = Vec::new();
+    let mut runs = 0usize;
+    let mut oracle_spent = oracle.is_none();
+    let budget = config.max_sssp.max(1);
+
+    // First source: the max-degree node (the BoundingDiameters heuristic —
+    // high-degree nodes sit near the center, giving tight upper bounds).
+    let mut source = (0..n as NodeId)
+        .max_by_key(|&v| (graph.degree(v), Reverse(v)))
+        .expect("connected graph has nodes");
+    // Second source: the farthest node of the first sweep (the classic
+    // 2-sweep, folding the sweep-chain lower bound into the same SSSPs).
+    let mut next_is_sweep = true;
+
+    while runs < budget {
+        scratch.run(graph, source);
+        runs += 1;
+        let ecc = scratch.eccentricity();
+        state.diam_lb = state.diam_lb.max(ecc);
+        for v in 0..n {
+            let d = scratch.distance(v as NodeId);
+            debug_assert_ne!(d, INFINITY, "connected component must be fully reached");
+            let lb = d.max(ecc - d);
+            state.lb[v] = state.lb[v].max(lb);
+            state.ub[v] = state.ub[v].min(ecc.saturating_add(d));
+        }
+        let sweep_target = scratch.farthest_node();
+        iterations.push(BoundsIteration {
+            source: Some(original(source)),
+            sssp_runs: runs,
+            lower: state.diam_lb,
+            upper: state.diam_ub(),
+            open: state.open_count(),
+        });
+        if within_tolerance(state.diam_lb, state.diam_ub(), config.tolerance) {
+            break;
+        }
+        // Mid-run oracle consult: cap every interval with the clustering
+        // upper bound once plain SSSPs have had their chance.
+        if !oracle_spent && runs >= config.quotient_after {
+            oracle_spent = true;
+            if let Some(oracle) = oracle {
+                state.apply_cap(oracle(graph));
+                iterations.push(BoundsIteration {
+                    source: None,
+                    sssp_runs: runs,
+                    lower: state.diam_lb,
+                    upper: state.diam_ub(),
+                    open: state.open_count(),
+                });
+                if within_tolerance(state.diam_lb, state.diam_ub(), config.tolerance) {
+                    break;
+                }
+            }
+        }
+        source =
+            if next_is_sweep && state.lb[sweep_target as usize] < state.ub[sweep_target as usize] {
+                sweep_target
+            } else {
+                match state.widest_open(graph) {
+                    Some(v) => v,
+                    None => break,
+                }
+            };
+        next_is_sweep = false;
+    }
+    let upper = state.diam_ub();
+    BoundsOutcome {
+        lower: state.diam_lb,
+        upper,
+        sssp_runs: runs,
+        converged: within_tolerance(state.diam_lb, upper, config.tolerance),
+        iterations,
+    }
+}
+
+/// Runs the engine on a *directed* graph: a forward+backward Dijkstra pair
+/// per iteration. Strongly connected inputs get the interval machinery;
+/// anything else falls back to the alternating 2-dSweep chain, which
+/// certifies a lower bound only.
+fn bound_directed(graph: &Graph, config: &BoundsConfig, oracle: BoundsOracle<'_>) -> BoundsOutcome {
+    let n = graph.num_nodes();
+    if n <= 1 {
+        return BoundsOutcome::trivial();
+    }
+    let mut fwd = DijkstraScratch::new();
+    let mut bwd = DijkstraScratch::new();
+    let mut iterations = Vec::new();
+    let mut runs = 0usize;
+    let budget = config.max_sssp.max(1);
+
+    // First pair decides the mode: strong connectivity is exactly "the first
+    // source reaches everything in both directions".
+    let first = (0..n as NodeId)
+        .max_by_key(|&v| (graph.degree(v), Reverse(v)))
+        .expect("non-empty graph has nodes");
+    fwd.run_directed(graph, first, SsspDirection::Forward);
+    bwd.run_directed(graph, first, SsspDirection::Backward);
+    runs += 2;
+    let strongly_connected = fwd.reached() == n && bwd.reached() == n;
+
+    if !strongly_connected {
+        // Lower-bound-only mode: alternating forward/backward sweep chain.
+        let mut best = fwd.eccentricity().max(bwd.eccentricity());
+        let mut open = n;
+        iterations.push(BoundsIteration {
+            source: Some(first),
+            sssp_runs: runs,
+            lower: best,
+            upper: INFINITY,
+            open,
+        });
+        fwd.sweep_clear();
+        fwd.sweep_mark(first);
+        let mut current = fwd.farthest_node();
+        let mut direction = SsspDirection::Backward;
+        while runs < budget && fwd.sweep_mark(current) {
+            fwd.run_directed(graph, current, direction);
+            runs += 1;
+            best = best.max(fwd.eccentricity());
+            open = n;
+            iterations.push(BoundsIteration {
+                source: Some(current),
+                sssp_runs: runs,
+                lower: best,
+                upper: INFINITY,
+                open,
+            });
+            current = fwd.farthest_node();
+            direction = match direction {
+                SsspDirection::Forward => SsspDirection::Backward,
+                SsspDirection::Backward => SsspDirection::Forward,
+            };
+        }
+        return BoundsOutcome {
+            lower: best,
+            upper: INFINITY,
+            sssp_runs: runs,
+            converged: false,
+            iterations,
+        };
+    }
+
+    let mut state = Intervals::new(n);
+    let mut oracle_spent = oracle.is_none();
+    let mut source = first;
+    let mut next_is_sweep = true;
+    loop {
+        // The scratches already hold the pair for `source`.
+        let ecc_f = fwd.eccentricity();
+        let ecc_b = bwd.eccentricity();
+        state.diam_lb = state.diam_lb.max(ecc_f).max(ecc_b);
+        for v in 0..n {
+            let df = fwd.distance(v as NodeId);
+            let db = bwd.distance(v as NodeId);
+            debug_assert!(df != INFINITY && db != INFINITY, "strongly connected by detection");
+            // ecc(v) ≥ d(v, s) and ecc(v) ≥ ecc_f(s) − d(s, v);
+            // ecc(v) ≤ d(v, s) + ecc_f(s). All eccentricities are forward.
+            state.lb[v] = state.lb[v].max(db).max(ecc_f.saturating_sub(df));
+            state.ub[v] = state.ub[v].min(db.saturating_add(ecc_f));
+        }
+        let sweep_target = fwd.farthest_node();
+        iterations.push(BoundsIteration {
+            source: Some(source),
+            sssp_runs: runs,
+            lower: state.diam_lb,
+            upper: state.diam_ub(),
+            open: state.open_count(),
+        });
+        if within_tolerance(state.diam_lb, state.diam_ub(), config.tolerance) {
+            break;
+        }
+        if !oracle_spent && runs >= config.quotient_after {
+            oracle_spent = true;
+            if let Some(oracle) = oracle {
+                state.apply_cap(oracle(graph));
+                iterations.push(BoundsIteration {
+                    source: None,
+                    sssp_runs: runs,
+                    lower: state.diam_lb,
+                    upper: state.diam_ub(),
+                    open: state.open_count(),
+                });
+                if within_tolerance(state.diam_lb, state.diam_ub(), config.tolerance) {
+                    break;
+                }
+            }
+        }
+        if runs + 2 > budget {
+            break;
+        }
+        source =
+            if next_is_sweep && state.lb[sweep_target as usize] < state.ub[sweep_target as usize] {
+                sweep_target
+            } else {
+                match state.widest_open(graph) {
+                    Some(v) => v,
+                    None => break,
+                }
+            };
+        next_is_sweep = false;
+        fwd.run_directed(graph, source, SsspDirection::Forward);
+        bwd.run_directed(graph, source, SsspDirection::Backward);
+        runs += 2;
+    }
+    let upper = state.diam_ub();
+    BoundsOutcome {
+        lower: state.diam_lb,
+        upper,
+        sssp_runs: runs,
+        converged: within_tolerance(state.diam_lb, upper, config.tolerance),
+        iterations,
+    }
+}
+
+/// The anytime bounds engine over a precomputed [`ComponentSplit`]
+/// (undirected inputs only — directed graphs are never split; call
+/// [`bounds_diameter`]).
+///
+/// Disconnected graphs bound every non-singleton component in parallel,
+/// each with the full per-component budget; the diameter interval of the
+/// whole graph is the pointwise max (the paper's convention: the diameter
+/// of a disconnected graph is the largest intra-component distance).
+pub fn bounds_diameter_with_split(
+    graph: &Graph,
+    config: &BoundsConfig,
+    oracle: BoundsOracle<'_>,
+    split: &ComponentSplit,
+) -> BoundsOutcome {
+    assert!(!graph.is_directed(), "bounds_diameter_with_split expects an undirected graph");
+    if graph.num_nodes() == 0 {
+        return BoundsOutcome::trivial();
+    }
+    if split.is_connected() {
+        return bound_connected(graph, config, oracle, None);
+    }
+    let outcomes: Vec<BoundsOutcome> = split
+        .parts
+        .par_iter()
+        .map(|(sub, mapping)| bound_connected(sub, config, oracle, Some(mapping)))
+        .collect();
+    let mut combined = BoundsOutcome::trivial();
+    for outcome in outcomes {
+        combined.lower = combined.lower.max(outcome.lower);
+        combined.upper = combined.upper.max(outcome.upper);
+        combined.converged &= outcome.converged;
+        // Re-base each component's cumulative run counter onto the trace.
+        let base = combined.sssp_runs;
+        combined.iterations.extend(outcome.iterations.into_iter().map(|mut it| {
+            it.sssp_runs += base;
+            it
+        }));
+        combined.sssp_runs += outcome.sssp_runs;
+    }
+    combined
+}
+
+/// The anytime `[lb, ub]` diameter bounds engine.
+///
+/// Undirected graphs are component-split internally (compute the split once
+/// with [`ComponentSplit::compute`] and call [`bounds_diameter_with_split`]
+/// to share it with the other bound drivers); directed graphs run the
+/// forward/backward engine on the whole graph.
+pub fn bounds_diameter(
+    graph: &Graph,
+    config: &BoundsConfig,
+    oracle: BoundsOracle<'_>,
+) -> BoundsOutcome {
+    if graph.is_directed() {
+        return bound_directed(graph, config, oracle);
+    }
+    bounds_diameter_with_split(graph, config, oracle, &ComponentSplit::compute(graph))
+}
+
+/// Directed 2-dSweep lower bound: an alternating forward/backward sweep
+/// chain from `start`, jumping to the farthest node of each run. Returns
+/// the best eccentricity observed (a certified diameter lower bound on any
+/// input, strongly connected or not) and the number of SSSPs spent.
+///
+/// On a symmetric graph every backward run equals the forward run, so the
+/// chain visits exactly the nodes of the undirected
+/// [`crate::diameter::sweep_chain_lower_bound`] and returns the identical
+/// bound.
+pub fn double_sweep_lower_bound(
+    graph: &Graph,
+    start: NodeId,
+    sweeps: usize,
+    scratch: &mut DijkstraScratch,
+) -> (Dist, usize) {
+    let mut current = start;
+    let mut direction = SsspDirection::Forward;
+    let mut best = 0;
+    let mut used = 0;
+    scratch.sweep_clear();
+    scratch.sweep_mark(start);
+    for _ in 0..sweeps.max(1) {
+        scratch.run_directed(graph, current, direction);
+        used += 1;
+        let ecc = scratch.eccentricity();
+        if ecc > best {
+            best = ecc;
+        }
+        let farthest = scratch.farthest_node();
+        if !scratch.sweep_mark(farthest) {
+            break;
+        }
+        current = farthest;
+        direction = match direction {
+            SsspDirection::Forward => SsspDirection::Backward,
+            SsspDirection::Backward => SsspDirection::Forward,
+        };
+    }
+    (best, used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diameter::{exact_diameter, sweep_chain_lower_bound};
+    use cldiam_gen::{mesh, path, rmat, road_network, RmatParams, WeightModel};
+    use cldiam_graph::{Graph, GraphBuilder};
+
+    fn run(graph: &Graph, config: &BoundsConfig) -> BoundsOutcome {
+        bounds_diameter(graph, config, None)
+    }
+
+    #[test]
+    fn closes_exactly_on_a_path() {
+        let g = path(9, 5);
+        let outcome = run(&g, &BoundsConfig::default());
+        assert!(outcome.converged);
+        assert_eq!(outcome.lower, 40);
+        assert_eq!(outcome.upper, 40);
+        // The 2-sweep (center → endpoint → endpoint) should close a path in
+        // very few SSSPs.
+        assert!(outcome.sssp_runs <= 4, "spent {} SSSPs", outcome.sssp_runs);
+    }
+
+    #[test]
+    fn converges_to_exact_diameter_on_small_graphs() {
+        for (i, g) in [
+            mesh(6, WeightModel::UniformUnit, 3),
+            rmat(RmatParams::paper(6), WeightModel::UniformUnit, 5),
+            road_network(8, 8, 2),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let exact = exact_diameter(g);
+            let outcome = run(g, &BoundsConfig::default().with_max_sssp(4 * g.num_nodes()));
+            assert!(outcome.converged, "graph {i} did not converge");
+            assert_eq!(outcome.lower, exact, "graph {i}");
+            assert_eq!(outcome.upper, exact, "graph {i}");
+        }
+    }
+
+    #[test]
+    fn every_iteration_brackets_the_exact_diameter() {
+        let g = mesh(7, WeightModel::UniformUnit, 11);
+        let exact = exact_diameter(&g);
+        let outcome = run(&g, &BoundsConfig::default());
+        assert!(!outcome.iterations.is_empty());
+        let mut prev_lower = 0;
+        let mut prev_upper = INFINITY;
+        for it in &outcome.iterations {
+            assert!(it.lower <= exact, "lb {} above exact {exact}", it.lower);
+            assert!(it.upper >= exact, "ub {} below exact {exact}", it.upper);
+            assert!(it.lower >= prev_lower, "lower bound regressed");
+            assert!(it.upper <= prev_upper, "upper bound regressed");
+            prev_lower = it.lower;
+            prev_upper = it.upper;
+        }
+    }
+
+    #[test]
+    fn budget_is_honored_and_interval_stays_sound() {
+        let g = mesh(9, WeightModel::UniformUnit, 2);
+        let exact = exact_diameter(&g);
+        let outcome = run(&g, &BoundsConfig::default().with_max_sssp(2));
+        assert_eq!(outcome.sssp_runs, 2);
+        assert!(outcome.lower <= exact && exact <= outcome.upper);
+    }
+
+    #[test]
+    fn tolerance_allows_early_stop() {
+        let g = mesh(9, WeightModel::UniformUnit, 2);
+        let tight = run(&g, &BoundsConfig::default());
+        let loose = run(&g, &BoundsConfig::default().with_tolerance(1.5));
+        assert!(loose.converged);
+        assert!(loose.sssp_runs <= tight.sssp_runs);
+        assert!((loose.upper as f64) <= 1.5 * (loose.lower as f64));
+    }
+
+    #[test]
+    fn oracle_cap_is_applied_and_recorded() {
+        let g = mesh(8, WeightModel::UniformUnit, 6);
+        let exact = exact_diameter(&g);
+        // An exact oracle must close the interval the moment it fires.
+        let oracle = move |_: &Graph| exact;
+        let config = BoundsConfig::default().with_quotient_after(1);
+        let outcome = bounds_diameter(&g, &config, Some(&oracle));
+        assert!(outcome.converged);
+        assert_eq!(outcome.upper, exact);
+        assert!(
+            outcome.iterations.iter().any(|it| it.source.is_none()),
+            "oracle step missing from the trace"
+        );
+    }
+
+    #[test]
+    fn disconnected_graphs_bound_the_largest_intra_component_distance() {
+        let g = Graph::from_edges(7, &[(0, 1, 5), (2, 3, 10), (3, 4, 10), (4, 5, 10)]);
+        let outcome = run(&g, &BoundsConfig::default());
+        assert!(outcome.converged);
+        assert_eq!(outcome.lower, 30);
+        assert_eq!(outcome.upper, 30);
+        // Component sources are reported in original ids.
+        for it in &outcome.iterations {
+            if let Some(s) = it.source {
+                assert!(s < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs_are_trivially_converged() {
+        for g in [Graph::empty(0), Graph::empty(1), Graph::empty(5)] {
+            let outcome = run(&g, &BoundsConfig::default());
+            assert!(outcome.converged);
+            assert_eq!((outcome.lower, outcome.upper), (0, 0));
+            assert_eq!(outcome.sssp_runs, 0);
+        }
+    }
+
+    fn directed_cycle(n: u32, w: u32) -> Graph {
+        let mut b = GraphBuilder::new_directed(n as usize);
+        for i in 0..n {
+            b.add_arc(i, (i + 1) % n, w);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn strongly_connected_digraph_converges_to_its_directed_diameter() {
+        // Directed n-cycle: d(u, v) walks forward only, diameter = (n-1)·w.
+        let g = directed_cycle(7, 3);
+        let outcome = run(&g, &BoundsConfig::default());
+        assert!(outcome.converged);
+        assert_eq!(outcome.lower, 18);
+        assert_eq!(outcome.upper, 18);
+    }
+
+    #[test]
+    fn non_strongly_connected_digraph_reports_lower_bound_only() {
+        // A one-way path: 0→1→2→3. No node reaches backwards.
+        let mut b = GraphBuilder::new_directed(4);
+        b.add_arc(0, 1, 2);
+        b.add_arc(1, 2, 2);
+        b.add_arc(2, 3, 2);
+        let g = b.build();
+        let outcome = run(&g, &BoundsConfig::default());
+        assert!(!outcome.converged);
+        assert_eq!(outcome.upper, INFINITY);
+        // d(0, 3) = 6 must be discovered by the sweep chain.
+        assert_eq!(outcome.lower, 6);
+    }
+
+    #[test]
+    fn symmetric_directed_engine_matches_the_undirected_answer() {
+        let edges = [(0u32, 1u32, 4u32), (1, 2, 1), (2, 3, 7), (0, 3, 2), (1, 3, 9)];
+        let mut d = GraphBuilder::new_directed(4);
+        let mut u = GraphBuilder::new(4);
+        for &(a, b, w) in &edges {
+            d.add_edge(a, b, w);
+            u.add_edge(a, b, w);
+        }
+        let dg = d.build();
+        let ug = u.build();
+        let from_directed = run(&dg, &BoundsConfig::default());
+        let from_undirected = run(&ug, &BoundsConfig::default());
+        assert!(from_directed.converged && from_undirected.converged);
+        assert_eq!(from_directed.lower, from_undirected.lower);
+        assert_eq!(from_directed.upper, from_undirected.upper);
+        assert_eq!(from_directed.upper, exact_diameter(&ug));
+    }
+
+    #[test]
+    fn double_sweep_matches_undirected_sweep_chain_on_symmetric_graphs() {
+        let g = mesh(6, WeightModel::UniformUnit, 4);
+        let mut a = DijkstraScratch::new();
+        let mut b = DijkstraScratch::new();
+        for start in [0u32, 7, 35] {
+            for budget in [1usize, 2, 4, 16] {
+                assert_eq!(
+                    double_sweep_lower_bound(&g, start, budget, &mut a),
+                    sweep_chain_lower_bound(&g, start, budget, &mut b),
+                    "start {start} budget {budget}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_sweep_is_a_sound_lower_bound_on_digraphs() {
+        let g = directed_cycle(9, 2);
+        let mut scratch = DijkstraScratch::new();
+        let (lb, used) = double_sweep_lower_bound(&g, 0, 8, &mut scratch);
+        assert!(lb <= 16, "lb {lb} exceeds the directed diameter 16");
+        assert!(lb > 0 && used >= 1);
+    }
+}

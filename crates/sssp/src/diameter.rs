@@ -13,7 +13,9 @@
 //! Dijkstras of an all-pairs sweep or a sweep chain share reusable
 //! distance/heap state instead of allocating per source.
 
-use cldiam_graph::{component_subgraphs, connected_components, Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{
+    component_subgraphs, connected_components, ComponentLabels, Dist, Graph, NodeId, INFINITY,
+};
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 use rayon::prelude::*;
@@ -24,6 +26,41 @@ use crate::dijkstra::dijkstra;
 /// Weighted eccentricity of `source`: the largest finite distance from it.
 pub fn eccentricity(graph: &Graph, source: NodeId) -> Dist {
     dijkstra(graph, source).eccentricity()
+}
+
+/// A connected-component split computed once and shared by every bound
+/// driver of a run.
+///
+/// [`diameter_lower_bound`] and [`sssp_diameter_upper_bound`] each need the
+/// per-component subgraphs; computing the `O(n + m)` union-find and split in
+/// each of them made a single CLI run pay it twice (three times with the
+/// bounds engine). Callers that run several drivers compute one split with
+/// [`ComponentSplit::compute`] and pass it to the `*_with_split` variants.
+#[derive(Clone, Debug)]
+pub struct ComponentSplit {
+    /// The component labelling of the original graph.
+    pub labels: ComponentLabels,
+    /// Non-singleton components as standalone graphs with their ascending
+    /// `new id -> original id` mappings ([`component_subgraphs`] order).
+    /// Empty when the graph is connected — drivers then run on the original
+    /// graph directly, avoiding a full copy.
+    pub parts: Vec<(Graph, Vec<NodeId>)>,
+}
+
+impl ComponentSplit {
+    /// Labels the components and extracts the non-singleton subgraphs (the
+    /// latter only when there are at least two components).
+    pub fn compute(graph: &Graph) -> Self {
+        let labels = connected_components(graph);
+        let parts =
+            if labels.count <= 1 { Vec::new() } else { component_subgraphs(graph, &labels) };
+        ComponentSplit { labels, parts }
+    }
+
+    /// `true` when every node is in one component (parts are then empty).
+    pub fn is_connected(&self) -> bool {
+        self.labels.count <= 1
+    }
 }
 
 /// The subgraph-local id of `node` within a component's ascending
@@ -57,16 +94,26 @@ fn local_id(mapping: &[NodeId], node: NodeId) -> NodeId {
 /// to split), so fragmented graphs pay for their components' sizes, not
 /// `components × n`.
 pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
-    let labels = connected_components(graph);
-    if labels.count <= 1 {
+    sssp_diameter_upper_bound_with_split(graph, source, &ComponentSplit::compute(graph))
+}
+
+/// [`sssp_diameter_upper_bound`] over a precomputed [`ComponentSplit`],
+/// letting several bound drivers share one split.
+pub fn sssp_diameter_upper_bound_with_split(
+    graph: &Graph,
+    source: NodeId,
+    split: &ComponentSplit,
+) -> Dist {
+    if split.is_connected() {
         return eccentricity(graph, source).saturating_mul(2);
     }
-    let source_label = labels.labels[source as usize];
+    let source_label = split.labels.labels[source as usize];
     let pool = ScratchPool::new();
-    component_subgraphs(graph, &labels)
+    split
+        .parts
         .par_iter()
         .map(|(sub, mapping)| {
-            let start = if labels.labels[mapping[0] as usize] == source_label {
+            let start = if split.labels.labels[mapping[0] as usize] == source_label {
                 local_id(mapping, source)
             } else {
                 0
@@ -100,17 +147,31 @@ pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
     if graph.num_nodes() == 0 {
         return 0;
     }
-    let labels = connected_components(graph);
+    diameter_lower_bound_with_split(graph, sweeps, seed, &ComponentSplit::compute(graph))
+}
+
+/// [`diameter_lower_bound`] over a precomputed [`ComponentSplit`], letting
+/// several bound drivers share one split.
+pub fn diameter_lower_bound_with_split(
+    graph: &Graph,
+    sweeps: usize,
+    seed: u64,
+    split: &ComponentSplit,
+) -> Dist {
+    if graph.num_nodes() == 0 {
+        return 0;
+    }
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(seed);
     let random_start = rng.gen_range(0..graph.num_nodes()) as NodeId;
-    if labels.count <= 1 {
+    if split.is_connected() {
         let mut scratch = DijkstraScratch::new();
         return sweep_chain(graph, random_start, sweeps, &mut scratch).0;
     }
-    let largest = labels.largest().expect("non-empty graph has a largest component");
-    let in_largest = |u: NodeId| labels.labels[u as usize] == largest;
+    let largest = split.labels.largest().expect("non-empty graph has a largest component");
+    let in_largest = |u: NodeId| split.labels.labels[u as usize] == largest;
     let pool = ScratchPool::new();
-    component_subgraphs(graph, &labels)
+    split
+        .parts
         .par_iter()
         .map(|(sub, mapping)| {
             let start = if in_largest(mapping[0]) && in_largest(random_start) {
@@ -133,7 +194,10 @@ pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
 /// the two endpoints of the same shortest path are each other's farthest
 /// node, and the endpoint-only test of an earlier revision made the chain
 /// ping-pong between them, burning the whole sweep budget on duplicate
-/// Dijkstras that could not improve the bound.
+/// Dijkstras that could not improve the bound. The repeat check uses the
+/// scratch's seen-bitmap (`O(1)` per sweep); the `Vec::contains` scan of an
+/// earlier revision was quadratic in the budget, harmless at 4 sweeps but
+/// not at the budgets the anytime bounds engine runs with.
 fn sweep_chain(
     graph: &Graph,
     start: NodeId,
@@ -143,11 +207,11 @@ fn sweep_chain(
     let mut current = start;
     let mut best = 0;
     let budget = sweeps.max(1);
-    // Chain starts already swept from; `budget` entries at most.
-    let mut visited: Vec<NodeId> = Vec::with_capacity(budget);
     let mut used = 0;
+    scratch.sweep_clear();
+    // Chain starts already swept from.
+    scratch.sweep_mark(start);
     for _ in 0..budget {
-        visited.push(current);
         scratch.run(graph, current);
         used += 1;
         let ecc = scratch.eccentricity();
@@ -155,12 +219,26 @@ fn sweep_chain(
             best = ecc;
         }
         let farthest = scratch.farthest_node();
-        if visited.contains(&farthest) {
+        if !scratch.sweep_mark(farthest) {
             break;
         }
         current = farthest;
     }
     (best, used)
+}
+
+/// Public driver for one sweep chain: the repo's iterated farthest-node
+/// lower bound from an explicit start, reporting the bound and the number of
+/// SSSPs spent. Used by the anytime bounds engine to seed and refresh its
+/// diameter lower bound; see [`diameter_lower_bound`] for the randomized
+/// per-component driver.
+pub fn sweep_chain_lower_bound(
+    graph: &Graph,
+    start: NodeId,
+    sweeps: usize,
+    scratch: &mut DijkstraScratch,
+) -> (Dist, usize) {
+    sweep_chain(graph, start, sweeps, scratch)
 }
 
 /// Exact weighted diameter by all-pairs Dijkstra, parallel over source nodes

@@ -28,6 +28,10 @@
 //! * [`diameter`] — SSSP-based upper and lower bounds for the weighted
 //!   diameter (iterated farthest-node sweep chains), and an exact all-pairs
 //!   diameter for small graphs, all running through the batched engine.
+//! * [`bounds`] — the anytime `[lb, ub]` bound-tightening engine: per-node
+//!   eccentricity intervals updated after every SSSP with the
+//!   iFUB/BoundingDiameters rules, max-width source selection, and a
+//!   directed 2-dSweep mode over forward/backward Dijkstra.
 //! * [`hops`] — estimators for `ℓ_Δ` (the maximum number of edges on
 //!   minimum-weight paths of weight at most `Δ`) and for the unweighted
 //!   diameter `Ψ(G)`, the quantities governing the paper's round-complexity
@@ -35,20 +39,28 @@
 
 pub mod batch;
 pub mod bellman_ford;
+pub mod bounds;
 pub mod delta_stepping;
 pub mod diameter;
 pub mod dijkstra;
 pub mod hops;
 
-pub use batch::{batched_eccentricities, multi_source_dijkstra, DijkstraScratch, ScratchPool};
+pub use batch::{
+    batched_eccentricities, multi_source_dijkstra, DijkstraScratch, ScratchPool, SsspDirection,
+};
 pub use bellman_ford::bellman_ford;
+pub use bounds::{
+    bounds_diameter, bounds_diameter_with_split, double_sweep_lower_bound, BoundsConfig,
+    BoundsIteration, BoundsOutcome,
+};
 pub use delta_stepping::{
     delta_stepping, delta_stepping_reference, delta_stepping_with_scratch, suggest_delta,
     DeltaSteppingOutcome, SsspScratch,
 };
 pub use diameter::{
-    all_eccentricities, diameter_lower_bound, eccentricity, exact_diameter,
-    sssp_diameter_upper_bound,
+    all_eccentricities, diameter_lower_bound, diameter_lower_bound_with_split, eccentricity,
+    exact_diameter, sssp_diameter_upper_bound, sssp_diameter_upper_bound_with_split,
+    sweep_chain_lower_bound, ComponentSplit,
 };
 pub use dijkstra::{dijkstra, ShortestPaths};
 pub use hops::{ell_delta, unweighted_diameter};

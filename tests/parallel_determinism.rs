@@ -12,7 +12,7 @@ use cldiam::prelude::*;
 use cldiam_core::{cluster, quotient_graph};
 use cldiam_mr::{MrConfig, MrEngine};
 use cldiam_sssp::diameter::all_eccentricities;
-use cldiam_sssp::{delta_stepping, suggest_delta};
+use cldiam_sssp::{bounds_diameter, delta_stepping, suggest_delta, BoundsConfig};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -88,6 +88,19 @@ fn mr_engine_rounds_are_identical_across_thread_counts() {
         let sums = engine.run_round(pairs, |&k, vs| vec![(k, vs.iter().sum::<u64>())]);
         let total = engine.run_round(sums, |_, vs| vec![((), vs.iter().sum::<u64>())]);
         (total, engine.history(), engine.metrics())
+    });
+}
+
+#[test]
+fn bounds_engine_is_identical_across_thread_counts() {
+    // The anytime engine splits disconnected graphs and bounds the
+    // components in parallel; the combined outcome — bounds, SSSP counts and
+    // the full iteration trace — must not depend on the pool size.
+    assert_identical(|| {
+        let connected = mesh(10, WeightModel::UniformUnit, 5);
+        let disconnected = rmat(RmatParams::paper(7), WeightModel::UniformUnit, 13);
+        let config = BoundsConfig::default().with_max_sssp(12);
+        (bounds_diameter(&connected, &config, None), bounds_diameter(&disconnected, &config, None))
     });
 }
 
