@@ -1,0 +1,68 @@
+//! `compressed_traversal`: the delta-varint compressed CSR versus the dense
+//! CSR it mirrors, on the traversal kernels that dominate the pipeline.
+//!
+//! Pairs on the repo's standard mesh and R-MAT specs:
+//!
+//! * `delta_dense` vs `delta_compressed` — one Δ-stepping run per iteration
+//!   through the shared `NeighborSource` path; the compressed run pays the
+//!   per-block varint decode in the relax loop, which this bench pins
+//!   (acceptance: within 1.5x of dense on rmat10).
+//! * `decode_dense` vs `decode_compressed` — a pure neighbor sweep (sum of
+//!   targets and weights over every arc), isolating iterator overhead from
+//!   algorithmic noise.
+//!
+//! Results go into `BENCH_storage.json` at the repo root together with the
+//! bytes/edge and cold-load numbers from the `storage_bench` binary.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cldiam_gen::{mesh, rmat, RmatParams, WeightModel};
+use cldiam_graph::{CompressedGraph, Graph, NeighborSource, NodeId};
+use cldiam_sssp::{delta_stepping_with_scratch, suggest_delta, SsspScratch};
+
+fn neighbor_sweep<G: NeighborSource>(graph: &G) -> u64 {
+    let mut acc = 0u64;
+    for u in graph.node_ids() {
+        for (v, w) in graph.neighbors(u) {
+            acc = acc.wrapping_add(u64::from(v)).wrapping_add(u64::from(w));
+        }
+    }
+    acc
+}
+
+fn bench_compressed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compressed_traversal");
+    group.sample_size(30).measurement_time(Duration::from_secs(5));
+
+    let workloads: Vec<(String, Graph)> = vec![
+        ("mesh64".to_string(), mesh(64, WeightModel::UniformUnit, 7)),
+        ("rmat10".to_string(), rmat(RmatParams::paper(10), WeightModel::UniformUnit, 7)),
+    ];
+
+    for (name, dense) in &workloads {
+        let compressed = CompressedGraph::from_graph(dense, 1);
+        let delta = suggest_delta(dense);
+        let source = (dense.num_nodes() / 2) as NodeId;
+
+        group.bench_with_input(BenchmarkId::new("delta_dense", name), dense, |b, g| {
+            let mut scratch = SsspScratch::with_capacity(g.num_nodes());
+            b.iter(|| delta_stepping_with_scratch(g, source, delta, None, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("delta_compressed", name), &compressed, |b, g| {
+            let mut scratch = SsspScratch::with_capacity(g.num_nodes());
+            b.iter(|| delta_stepping_with_scratch(g, source, delta, None, &mut scratch))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_dense", name), dense, |b, g| {
+            b.iter(|| neighbor_sweep(g))
+        });
+        group.bench_with_input(BenchmarkId::new("decode_compressed", name), &compressed, |b, g| {
+            b.iter(|| neighbor_sweep(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compressed);
+criterion_main!(benches);

@@ -32,6 +32,15 @@
 //!                   (what the paper does with every real-world graph);
 //!                   in --directed mode: the largest *weakly* connected one
 //!   --cache         reuse/write a binary .cldg snapshot next to the input
+//!   --compress      hold the graph as delta-varint compressed CSR (and write
+//!                   compressed snapshot payloads under --cache)
+//!   --shards N      split the compressed payload into N node-range shards
+//!                   (implies --compress)
+//!   --mmap          serve .cldg payloads zero-copy from a memory mapping
+//!                   (needs --cache or a .cldg input)
+//!   --verify-snapshot
+//!                   verify payload checksums on the mmap path too (buffered
+//!                   loads always verify)
 //!   --json PATH     write the JSON report rows to PATH ("-" for stdout)
 //!   --no-time       report wall-clock fields as 0 so output is byte-identical
 //!                   across runs and thread counts (used by the CI matrix)
@@ -40,18 +49,24 @@
 //! The program prints the Table 2-style text row and exits non-zero on any
 //! parse error (with the offending line number for text formats).
 
+use std::io::Read;
+use std::path::Path;
 use std::time::Instant;
 
 use cldiam_bench::json::Value;
 use cldiam_bench::report::{render_table, to_json};
 use cldiam_bench::runner::{
-    baseline_source, reference_lower_bound_with_split, run_bounds, run_cldiam_with,
-    run_delta_stepping_best, run_delta_stepping_with,
+    baseline_source, reference_lower_bound_with_split, run_bounds, run_bounds_directed,
+    run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with,
 };
-use cldiam_bench::ResultRow;
+use cldiam_bench::{ResultRow, RunResult};
 use cldiam_core::{AnytimeConfig, ClusterConfig};
 use cldiam_gen::GraphSpec;
-use cldiam_graph::{largest_component, load_graph_as, load_graph_cached, EdgeDirection, Graph};
+use cldiam_graph::{
+    detect_format, largest_component, load_graph_as, load_graph_cached_with, read_snapshot_file,
+    CacheOptions, CompressedGraph, EdgeDirection, FileFormat, Graph, NeighborSource, SnapshotGraph,
+    SnapshotOptions,
+};
 use cldiam_sssp::{BoundsConfig, ComponentSplit};
 
 struct Options {
@@ -70,8 +85,20 @@ struct Options {
     threads: Option<usize>,
     largest_component: bool,
     cache: bool,
+    compress: bool,
+    shards: usize,
+    mmap: bool,
+    verify_snapshot: bool,
     json: Option<String>,
     no_time: bool,
+}
+
+/// The loaded graph in whichever CSR tier the flags selected; every
+/// undirected pipeline below is generic over [`NeighborSource`], so both
+/// variants feed the same code.
+enum GraphSource {
+    Dense(Graph),
+    Compressed(CompressedGraph),
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -87,6 +114,7 @@ const USAGE: &str =
                      \u{20}             [--algo cldiam|delta|both|bounds] [--bounds-budget N]\n\
                      \u{20}             [--tolerance F] [--no-quotient] [--directed | --symmetrize]\n\
                      \u{20}             [--seed K] [--threads N] [--largest-component] [--cache]\n\
+                     \u{20}             [--compress] [--shards N] [--mmap] [--verify-snapshot]\n\
                      \u{20}             [--json PATH] [--no-time]";
 
 fn usage() -> ! {
@@ -118,6 +146,10 @@ fn help() -> ! {
          --threads N           worker-pool size (default: CLDIAM_THREADS, then hardware)\n\
          --largest-component   extract the largest connected component first\n\
          --cache               reuse/write a binary .cldg snapshot next to the input\n\
+         --compress            hold the graph as delta-varint compressed CSR\n\
+         --shards N            shard the compressed payload (implies --compress)\n\
+         --mmap                serve .cldg payloads zero-copy (with --cache or .cldg input)\n\
+         --verify-snapshot     verify payload checksums on the mmap path too\n\
          --json PATH           write the JSON report rows to PATH (\"-\" for stdout)\n\
          --no-time             report wall-clock fields as 0 (byte-identical reruns)"
     );
@@ -141,6 +173,10 @@ fn parse_args() -> Options {
         threads: cldiam_bench::configured_threads(),
         largest_component: false,
         cache: false,
+        compress: false,
+        shards: 1,
+        mmap: false,
+        verify_snapshot: false,
         json: None,
         no_time: false,
     };
@@ -222,6 +258,19 @@ fn parse_args() -> Options {
             },
             "--largest-component" | "--lcc" => options.largest_component = true,
             "--cache" => options.cache = true,
+            "--compress" => options.compress = true,
+            "--shards" => match value(&mut args, "--shards").parse() {
+                Ok(n) if n >= 1 => {
+                    options.shards = n;
+                    options.compress = true;
+                }
+                _ => {
+                    eprintln!("--shards expects a positive integer");
+                    usage()
+                }
+            },
+            "--mmap" => options.mmap = true,
+            "--verify-snapshot" => options.verify_snapshot = true,
             "--json" => options.json = Some(value(&mut args, "--json")),
             "--no-time" => options.no_time = true,
             "--help" | "-h" => help(),
@@ -263,55 +312,109 @@ fn parse_args() -> Options {
             eprintln!("[cldiam] --cache ignored: binary snapshots are undirected");
             options.cache = false;
         }
+        if options.compress || options.mmap {
+            eprintln!(
+                "--directed supports neither --compress nor --mmap: the directed bounds \
+                       engine needs the dense in-arc arrays"
+            );
+            usage();
+        }
+    }
+    if options.mmap && options.input.starts_with("gen:") {
+        eprintln!("--mmap needs a file input: gen: workloads have nothing to map");
+        usage();
     }
     options
 }
 
+/// Wraps a dense graph in the tier the flags selected.
+fn tiered(graph: Graph, options: &Options) -> GraphSource {
+    if options.compress {
+        GraphSource::Compressed(CompressedGraph::from_graph(&graph, options.shards))
+    } else {
+        GraphSource::Dense(graph)
+    }
+}
+
 /// Loads the input graph: a `gen:` spec or a file in any supported format.
-fn load_input(options: &Options) -> (Graph, String) {
+fn load_input(options: &Options) -> (GraphSource, String) {
     if let Some(spec_text) = options.input.strip_prefix("gen:") {
         let spec = GraphSpec::parse(spec_text).unwrap_or_else(|e| {
             eprintln!("bad gen: spec {spec_text:?}: {e}");
             std::process::exit(2);
         });
         let graph = spec.generate(options.seed);
-        return (graph, spec.label());
+        let label = spec.label();
+        return (tiered(graph, options), label);
     }
-    let result = if options.cache {
-        load_graph_cached(&options.input).map(|(graph, from_snapshot)| {
-            if from_snapshot {
-                eprintln!("(loaded binary snapshot, text parse skipped)");
-            }
-            graph
-        })
-    } else {
-        let direction =
-            if options.directed { EdgeDirection::Directed } else { EdgeDirection::Symmetrize };
-        load_graph_as(&options.input, direction).map(|loaded| {
-            if loaded.asymmetric_arcs > 0 {
-                if options.directed {
-                    eprintln!("[cldiam] {} one-way arc(s) kept directed", loaded.asymmetric_arcs);
-                } else if !options.symmetrize {
-                    eprintln!(
-                        "[cldiam] warning: {} arc(s) u→v have no companion v→u; the input \
-                         looks directed and was symmetrized — pass --directed to keep arc \
-                         directions (or --symmetrize to silence this check)",
-                        loaded.asymmetric_arcs
-                    );
-                }
-            }
-            loaded.graph
-        })
-    };
-    let graph = result.unwrap_or_else(|e| {
-        eprintln!("cannot load {:?}: {e}", options.input);
-        std::process::exit(1);
-    });
-    let label = std::path::Path::new(&options.input)
+    let label = Path::new(&options.input)
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| options.input.clone());
-    (graph, label)
+    let fail = |e: &dyn std::fmt::Display| -> ! {
+        eprintln!("cannot load {:?}: {e}", options.input);
+        std::process::exit(1);
+    };
+    if options.cache {
+        let cache_options = CacheOptions {
+            compress: options.compress,
+            shards: options.shards,
+            mmap: options.mmap,
+            verify: options.verify_snapshot,
+        };
+        let (graph, from_snapshot) =
+            load_graph_cached_with(&options.input, &cache_options).unwrap_or_else(|e| fail(&e));
+        if from_snapshot {
+            eprintln!("(loaded binary snapshot, text parse skipped)");
+        }
+        let source = match graph {
+            SnapshotGraph::Dense(g) => GraphSource::Dense(g),
+            SnapshotGraph::Compressed(c) => GraphSource::Compressed(c),
+        };
+        return (source, label);
+    }
+    // Sniff the head so snapshot inputs can be served in their native tier
+    // (and zero-copy under --mmap) without reading the whole file first.
+    let path = Path::new(&options.input);
+    let mut head = Vec::new();
+    match std::fs::File::open(path) {
+        Ok(file) => {
+            if let Err(e) = file.take(4096).read_to_end(&mut head) {
+                fail(&e);
+            }
+        }
+        Err(e) => fail(&e),
+    }
+    if detect_format(path, &head) == FileFormat::Binary && !options.directed {
+        let snapshot_options =
+            SnapshotOptions { mmap: options.mmap, verify: options.verify_snapshot };
+        let snap = read_snapshot_file(path, &snapshot_options).unwrap_or_else(|e| fail(&e));
+        let source = match snap.graph {
+            SnapshotGraph::Compressed(c) => GraphSource::Compressed(c),
+            SnapshotGraph::Dense(g) => tiered(g, options),
+        };
+        return (source, label);
+    }
+    if options.mmap {
+        eprintln!("--mmap needs a .cldg snapshot input or --cache (text has nothing to map)");
+        std::process::exit(2);
+    }
+    let direction =
+        if options.directed { EdgeDirection::Directed } else { EdgeDirection::Symmetrize };
+    let loaded = load_graph_as(&options.input, direction).unwrap_or_else(|e| fail(&e));
+    if loaded.asymmetric_arcs > 0 {
+        if options.directed {
+            eprintln!("[cldiam] {} one-way arc(s) kept directed", loaded.asymmetric_arcs);
+        } else if !options.symmetrize {
+            eprintln!(
+                "[cldiam] warning: {} arc(s) u→v have no companion v→u; the input \
+                 looks directed and was symmetrized — pass --directed to keep arc \
+                 directions (or --symmetrize to silence this check)",
+                loaded.asymmetric_arcs
+            );
+        }
+    }
+    (tiered(loaded.graph, options), label)
 }
 
 fn main() {
@@ -344,28 +447,10 @@ fn print_bounds_progress(result: &cldiam_bench::RunResult) {
     }
 }
 
-fn run(options: &Options) {
-    let load_started = Instant::now();
-    let (mut graph, label) = load_input(options);
-    let raw_nodes = graph.num_nodes();
-    let mut proxy = options.input.clone();
-    if options.largest_component {
-        let (core, _) = largest_component(&graph);
-        graph = core;
-        proxy.push_str(" (largest component)");
-        eprintln!("[cldiam] largest component: {} of {} nodes kept", graph.num_nodes(), raw_nodes);
-    }
-    eprintln!(
-        "[cldiam] {label}: {} nodes, {} edges (loaded in {:.2}s)",
-        graph.num_nodes(),
-        graph.num_edges(),
-        load_started.elapsed().as_secs_f64()
-    );
-    if graph.num_nodes() == 0 {
-        eprintln!("[cldiam] the graph is empty; nothing to estimate");
-        std::process::exit(1);
-    }
-
+/// The full undirected pipeline — CL-DIAM, the Δ-stepping baseline and the
+/// bounds engine all run through [`NeighborSource`], so the dense and the
+/// compressed tier share this code without branching.
+fn run_undirected<G: NeighborSource>(graph: &G, options: &Options) -> Vec<RunResult> {
     let tau = options.tau.unwrap_or_else(|| {
         ClusterConfig::tau_for_quotient_target(graph.num_nodes(), options.target_quotient)
     });
@@ -378,54 +463,94 @@ fn run(options: &Options) {
         .with_tolerance(options.tolerance);
 
     let mut results = Vec::new();
-    if graph.is_directed() {
-        // parse_args narrowed directed inputs to the bounds engine, which
-        // runs the whole digraph (no component split) with no oracle.
-        let anytime = AnytimeConfig { bounds: bounds_config, cluster: None };
-        let result = run_bounds(&graph, &anytime, None);
+    // One connectivity pass serves the reference lower bound and the bounds
+    // engine alike.
+    let split = ComponentSplit::compute(graph);
+    if options.algo != Algo::Bounds {
+        let lower = reference_lower_bound_with_split(graph, options.seed, &split);
+        if options.algo != Algo::Delta {
+            results.push(run_cldiam_with(graph, lower, &config));
+        }
+        if options.algo != Algo::Cldiam {
+            results.push(match options.delta {
+                Some(delta) => run_delta_stepping_with(
+                    graph,
+                    baseline_source(graph, options.seed),
+                    delta,
+                    lower,
+                ),
+                None => run_delta_stepping_best(graph, lower, options.seed),
+            });
+        }
+    } else {
+        let cluster = if options.no_quotient { None } else { Some(config.clone()) };
+        let anytime = AnytimeConfig { bounds: bounds_config, cluster };
+        let result = run_bounds(graph, &anytime, &split);
         print_bounds_progress(&result);
         results.push(result);
-    } else {
-        // One connectivity pass serves the reference lower bound and the
-        // bounds engine alike.
-        let split = ComponentSplit::compute(&graph);
-        if options.algo != Algo::Bounds {
-            let lower = reference_lower_bound_with_split(&graph, options.seed, &split);
-            if options.algo != Algo::Delta {
-                results.push(run_cldiam_with(&graph, lower, &config));
-            }
-            if options.algo != Algo::Cldiam {
-                results.push(match options.delta {
-                    Some(delta) => run_delta_stepping_with(
-                        &graph,
-                        baseline_source(&graph, options.seed),
-                        delta,
-                        lower,
-                    ),
-                    None => run_delta_stepping_best(&graph, lower, options.seed),
-                });
-            }
-        } else {
-            let cluster = if options.no_quotient { None } else { Some(config.clone()) };
-            let anytime = AnytimeConfig { bounds: bounds_config, cluster };
-            let result = run_bounds(&graph, &anytime, Some(&split));
-            print_bounds_progress(&result);
-            results.push(result);
-        }
     }
+    results
+}
+
+fn run(options: &Options) {
+    let load_started = Instant::now();
+    let (mut source, label) = load_input(options);
+    let mut proxy = options.input.clone();
+    if options.largest_component {
+        // Component extraction is dense machinery; a compressed source round
+        // trips through the dense tier and is recompressed afterwards.
+        let was_compressed = matches!(source, GraphSource::Compressed(_));
+        let dense = match source {
+            GraphSource::Dense(g) => g,
+            GraphSource::Compressed(c) => c.to_graph(),
+        };
+        let raw_nodes = dense.num_nodes();
+        let (core, _) = largest_component(&dense);
+        eprintln!("[cldiam] largest component: {} of {} nodes kept", core.num_nodes(), raw_nodes);
+        proxy.push_str(" (largest component)");
+        source = if was_compressed || options.compress {
+            GraphSource::Compressed(CompressedGraph::from_graph(&core, options.shards))
+        } else {
+            GraphSource::Dense(core)
+        };
+    }
+    let (nodes, edges, tier) = match &source {
+        GraphSource::Dense(g) => (g.num_nodes(), g.num_edges(), "dense csr".to_string()),
+        GraphSource::Compressed(c) => {
+            (c.num_nodes(), c.num_edges(), format!("compressed csr, {} shard(s)", c.num_shards()))
+        }
+    };
+    eprintln!(
+        "[cldiam] {label}: {nodes} nodes, {edges} edges ({tier}; loaded in {:.2}s)",
+        load_started.elapsed().as_secs_f64()
+    );
+    if nodes == 0 {
+        eprintln!("[cldiam] the graph is empty; nothing to estimate");
+        std::process::exit(1);
+    }
+
+    let mut results = match &source {
+        GraphSource::Dense(graph) if graph.is_directed() => {
+            // parse_args narrowed directed inputs to the bounds engine, which
+            // runs the whole digraph (no component split) with no oracle.
+            let bounds_config = BoundsConfig::default()
+                .with_max_sssp(options.bounds_budget)
+                .with_tolerance(options.tolerance);
+            let anytime = AnytimeConfig { bounds: bounds_config, cluster: None };
+            let result = run_bounds_directed(graph, &anytime);
+            print_bounds_progress(&result);
+            vec![result]
+        }
+        GraphSource::Dense(graph) => run_undirected(graph, options),
+        GraphSource::Compressed(graph) => run_undirected(graph, options),
+    };
     if options.no_time {
         for result in &mut results {
             result.time_s = 0.0;
         }
     }
 
-    let rows = vec![ResultRow {
-        graph: label.clone(),
-        proxy,
-        nodes: graph.num_nodes(),
-        edges: graph.num_edges(),
-        results,
-    }];
+    let rows = vec![ResultRow { graph: label.clone(), proxy, nodes, edges, results }];
     println!("{}", render_table(&format!("cldiam — {label}"), &rows));
     if let Some(path) = &options.json {
         let json = to_json(&rows);

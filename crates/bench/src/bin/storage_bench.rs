@@ -1,0 +1,164 @@
+//! Storage-format benchmark: bytes/edge of the dense versus the delta-varint
+//! compressed CSR, and cold-load wall time of a text parse versus a v1
+//! snapshot read versus a v2 mmap-backed load.
+//!
+//! ```text
+//! storage_bench [--out PATH] [--seed K] [--threads N]
+//! ```
+//!
+//! Workloads: the repo's standard `mesh:64` and `rmat:10` specs (the latter
+//! under both unit and uniform fixed-point weights, the two ends of the
+//! weight-entropy spectrum) and a 400x60 road-network spec in the shape of
+//! the paper's DIMACS inputs. Every load is checked bit-identical to the
+//! in-memory dense graph before its timing is recorded.
+//!
+//! The rows land in `BENCH_storage.json`, which is committed so the
+//! compression and cold-start claims are reviewable without rerunning.
+
+use std::time::Instant;
+
+use cldiam_bench::json::{object, to_string_pretty, Value};
+use cldiam_gen::{mesh, rmat, road_network, RmatParams, WeightModel};
+use cldiam_graph::{
+    io::binary, io::dimacs, load_graph, read_snapshot_file, write_snapshot_file, CompressedGraph,
+    Graph, SnapshotOptions, SnapshotPayload,
+};
+
+/// Wall time of the best of three runs of `op`, with every result checked
+/// against the reference dense graph.
+fn best_of_3(reference: &Graph, mut op: impl FnMut() -> Graph) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let loaded = op();
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(&loaded, reference, "a load path diverged from the in-memory graph");
+        best = best.min(elapsed);
+    }
+    best
+}
+
+fn bench_one(name: &str, graph: &Graph) -> Value {
+    let compressed = CompressedGraph::from_graph(graph, 1);
+    let dense_bytes = graph.memory_bytes();
+    let compressed_bytes = compressed.memory_bytes();
+    let edges = graph.num_edges().max(1);
+    let ratio = dense_bytes as f64 / compressed_bytes as f64;
+
+    let dir = std::env::temp_dir().join(format!("cldiam-storage-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let text_path = dir.join(format!("{name}.gr"));
+    let v1_path = dir.join(format!("{name}.v1.cldg"));
+    let v2_path = dir.join(format!("{name}.v2.cldg"));
+    dimacs::write_dimacs_file(graph, &text_path).expect("write text fixture");
+    binary::write_binary_file(graph, &v1_path).expect("write v1 snapshot");
+    write_snapshot_file(&SnapshotPayload::Compressed(&compressed), &v2_path)
+        .expect("write v2 snapshot");
+
+    let text_s = best_of_3(graph, || load_graph(&text_path).expect("text parse"));
+    let v1_s = best_of_3(graph, || {
+        read_snapshot_file(&v1_path, &SnapshotOptions { mmap: false, verify: true })
+            .expect("v1 read")
+            .graph
+            .into_dense()
+    });
+    // The mmap load itself is O(header); decompression to a dense graph for
+    // the equality check happens outside the timed region.
+    let mut mmap_s = f64::INFINITY;
+    for _ in 0..3 {
+        let started = Instant::now();
+        let snap = read_snapshot_file(&v2_path, &SnapshotOptions { mmap: true, verify: false })
+            .expect("v2 mmap load");
+        mmap_s = mmap_s.min(started.elapsed().as_secs_f64());
+        assert_eq!(snap.graph.into_dense(), *graph, "mmap load diverged");
+    }
+    for path in [&text_path, &v1_path, &v2_path] {
+        std::fs::remove_file(path).ok();
+    }
+
+    eprintln!(
+        "[storage_bench] {name}: {:.2} B/edge dense vs {:.2} B/edge compressed ({ratio:.2}x); \
+         cold load {text_s:.4}s text vs {v1_s:.4}s v1 vs {mmap_s:.6}s v2-mmap ({:.0}x)",
+        dense_bytes as f64 / edges as f64,
+        compressed_bytes as f64 / edges as f64,
+        text_s / mmap_s,
+    );
+
+    object([
+        ("workload", name.into()),
+        ("nodes", graph.num_nodes().into()),
+        ("edges", graph.num_edges().into()),
+        (
+            "storage",
+            object([
+                ("weight_coding", compressed.coding_name().into()),
+                ("dense_bytes", dense_bytes.into()),
+                ("dense_bytes_per_edge", (dense_bytes as f64 / edges as f64).into()),
+                ("compressed_bytes", compressed_bytes.into()),
+                ("compressed_bytes_per_edge", (compressed_bytes as f64 / edges as f64).into()),
+                ("compression_ratio", ratio.into()),
+            ]),
+        ),
+        (
+            "cold_load_s",
+            object([
+                ("text_parse", text_s.into()),
+                ("v1_read", v1_s.into()),
+                ("v2_mmap", mmap_s.into()),
+                ("text_over_mmap_speedup", (text_s / mmap_s).into()),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let mut out = "BENCH_storage.json".to_string();
+    let mut seed = 7u64;
+    let mut threads = cldiam_bench::configured_threads();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().expect("--out requires a path"),
+            "--seed" => {
+                seed = args.next().and_then(|v| v.parse().ok()).expect("--seed expects an integer")
+            }
+            "--threads" => {
+                threads =
+                    Some(args.next().and_then(|v| v.parse().ok()).expect("--threads expects N"))
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: storage_bench [--out PATH] [--seed K] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    cldiam_bench::install_with_threads(threads, || {
+        let workloads: Vec<(&str, Graph)> = vec![
+            ("mesh64", mesh(64, WeightModel::UniformUnit, seed)),
+            ("rmat10-unit", rmat(RmatParams::paper(10), WeightModel::Unit, seed)),
+            ("rmat10-uniform", rmat(RmatParams::paper(10), WeightModel::UniformUnit, seed)),
+            ("road-400x60", road_network(400, 60, seed)),
+        ];
+        let rows: Vec<Value> =
+            workloads.iter().map(|(name, graph)| bench_one(name, graph)).collect();
+        let doc = object([
+            (
+                "host",
+                object([
+                    ("cpus", std::thread::available_parallelism().map_or(0, |p| p.get()).into()),
+                    (
+                        "caveat",
+                        "single-CPU container; timings are warm-page-cache wall times, \
+                         best of 3 — relative order is meaningful, absolute values are not"
+                            .into(),
+                    ),
+                ]),
+            ),
+            ("rows", Value::Array(rows)),
+        ]);
+        std::fs::write(&out, format!("{}\n", to_string_pretty(&doc)))
+            .expect("write benchmark output");
+        eprintln!("[storage_bench] wrote {out}");
+    });
+}

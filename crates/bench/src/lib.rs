@@ -19,8 +19,8 @@ pub mod workloads;
 
 pub use report::{render_figure, render_table, to_json, ResultRow};
 pub use runner::{
-    reference_lower_bound, reference_lower_bound_with_split, run_bounds, run_cldiam,
-    run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with, RunResult,
+    reference_lower_bound, reference_lower_bound_with_split, run_bounds, run_bounds_directed,
+    run_cldiam, run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with, RunResult,
 };
 pub use threads::{configured_threads, install_with_threads};
 pub use workloads::{Workload, WorkloadSet};

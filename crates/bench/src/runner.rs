@@ -5,7 +5,7 @@ use std::time::Instant;
 
 use cldiam_core::approximate_diameter;
 use cldiam_core::{anytime_diameter, anytime_diameter_with_split, AnytimeConfig, ClusterConfig};
-use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{Dist, Graph, NeighborSource, NodeId, INFINITY};
 use cldiam_mr::CostTracker;
 use cldiam_sssp::{
     delta_stepping_with_scratch, diameter_lower_bound, diameter_lower_bound_with_split,
@@ -64,13 +64,17 @@ impl RunResult {
 
 /// Computes the diameter lower bound the paper uses to normalize ratios:
 /// iterated farthest-node SSSP sweeps.
-pub fn reference_lower_bound(graph: &Graph, seed: u64) -> Dist {
+pub fn reference_lower_bound<G: NeighborSource>(graph: &G, seed: u64) -> Dist {
     diameter_lower_bound(graph, 4, seed)
 }
 
 /// [`reference_lower_bound`] over a precomputed [`ComponentSplit`], so one
 /// connectivity pass serves both the reference bound and the bounds engine.
-pub fn reference_lower_bound_with_split(graph: &Graph, seed: u64, split: &ComponentSplit) -> Dist {
+pub fn reference_lower_bound_with_split<G: NeighborSource>(
+    graph: &G,
+    seed: u64,
+    split: &ComponentSplit,
+) -> Dist {
     diameter_lower_bound_with_split(graph, 4, seed, split)
 }
 
@@ -98,20 +102,28 @@ fn iterations_to_value(outcome: &BoundsOutcome) -> Value {
     )
 }
 
-/// Runs the anytime bounds engine (`--algo bounds`). Undirected graphs reuse
-/// the caller's [`ComponentSplit`]; directed graphs pass `None` and are run
-/// whole through the forward/backward engine.
-pub fn run_bounds(
-    graph: &Graph,
+/// Runs the anytime bounds engine (`--algo bounds`) on an undirected graph,
+/// reusing the caller's [`ComponentSplit`]. Works on any [`NeighborSource`]
+/// (dense or compressed CSR).
+pub fn run_bounds<G: NeighborSource>(
+    graph: &G,
     config: &AnytimeConfig,
-    split: Option<&ComponentSplit>,
+    split: &ComponentSplit,
 ) -> RunResult {
     let started = Instant::now();
-    let outcome = match split {
-        Some(split) => anytime_diameter_with_split(graph, config, split),
-        None => anytime_diameter(graph, config),
-    };
-    let time_s = started.elapsed().as_secs_f64();
+    let outcome = anytime_diameter_with_split(graph, config, split);
+    bounds_result(config, outcome, started.elapsed().as_secs_f64())
+}
+
+/// Runs the anytime bounds engine on a directed graph, which goes whole
+/// through the forward/backward engine (dense only: it needs in-arcs).
+pub fn run_bounds_directed(graph: &Graph, config: &AnytimeConfig) -> RunResult {
+    let started = Instant::now();
+    let outcome = anytime_diameter(graph, config);
+    bounds_result(config, outcome, started.elapsed().as_secs_f64())
+}
+
+fn bounds_result(config: &AnytimeConfig, outcome: BoundsOutcome, time_s: f64) -> RunResult {
     let approximation = if outcome.upper == INFINITY {
         f64::INFINITY
     } else if outcome.lower == 0 {
@@ -145,7 +157,11 @@ pub fn run_bounds(
 
 /// Runs `CL-DIAM` under an explicit [`ClusterConfig`] — the entry point of
 /// the `cldiam` CLI, where `τ` and the `CLUSTER2` switch come from flags.
-pub fn run_cldiam_with(graph: &Graph, lower_bound: Dist, config: &ClusterConfig) -> RunResult {
+pub fn run_cldiam_with<G: NeighborSource>(
+    graph: &G,
+    lower_bound: Dist,
+    config: &ClusterConfig,
+) -> RunResult {
     let started = Instant::now();
     let estimate = approximate_diameter(graph, config);
     let time_s = started.elapsed().as_secs_f64();
@@ -172,8 +188,8 @@ pub fn run_cldiam_with(graph: &Graph, lower_bound: Dist, config: &ClusterConfig)
 /// Runs `CL-DIAM` with the paper's practical configuration: decomposition via
 /// `CLUSTER`, initial `Δ` = average edge weight, `τ` chosen so the quotient
 /// graph stays below `target_quotient` nodes.
-pub fn run_cldiam(
-    graph: &Graph,
+pub fn run_cldiam<G: NeighborSource>(
+    graph: &G,
     lower_bound: Dist,
     target_quotient: usize,
     seed: u64,
@@ -185,8 +201,8 @@ pub fn run_cldiam(
 
 /// Runs the Δ-stepping baseline from `source` with an explicit bucket width
 /// and converts the eccentricity into the 2-approximation of the diameter.
-pub fn run_delta_stepping_with(
-    graph: &Graph,
+pub fn run_delta_stepping_with<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     delta: u32,
     lower_bound: Dist,
@@ -198,8 +214,8 @@ pub fn run_delta_stepping_with(
 /// [`run_delta_stepping_with`] over a caller-provided [`SsspScratch`], so
 /// grid sweeps reuse the engine state (distances, bucket ring, touched list)
 /// across every Δ candidate instead of re-allocating per run.
-pub fn run_delta_stepping_scratch(
-    graph: &Graph,
+pub fn run_delta_stepping_scratch<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     delta: u32,
     lower_bound: Dist,
@@ -230,11 +246,15 @@ pub fn run_delta_stepping_scratch(
 /// from the seed (the paper starts Δ-stepping from a random node; hashing
 /// avoids always landing on node 0, which on lattice-like graphs is a corner
 /// with worst-case eccentricity).
-pub fn baseline_source(graph: &Graph, seed: u64) -> NodeId {
+pub fn baseline_source<G: NeighborSource>(graph: &G, seed: u64) -> NodeId {
     ((seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) % graph.num_nodes().max(1) as u64) as NodeId
 }
 
-pub fn run_delta_stepping_best(graph: &Graph, lower_bound: Dist, seed: u64) -> RunResult {
+pub fn run_delta_stepping_best<G: NeighborSource>(
+    graph: &G,
+    lower_bound: Dist,
+    seed: u64,
+) -> RunResult {
     let base = suggest_delta(graph);
     let source = baseline_source(graph, seed);
     let candidates =

@@ -7,11 +7,27 @@
 //! and one clustering pass cooperate on the same shrinking interval instead
 //! of running as two unrelated fixed-budget pipelines.
 
-use cldiam_graph::{Dist, Graph};
-use cldiam_sssp::{bounds_diameter_with_split, BoundsConfig, BoundsOutcome, ComponentSplit};
+use cldiam_graph::{Dist, Graph, NeighborSource};
+use cldiam_sssp::{
+    bounds_diameter_with_split, BoundsConfig, BoundsOutcome, ComponentSplit, DiameterOracle,
+    NO_ORACLE,
+};
 
 use crate::config::ClusterConfig;
 use crate::diameter::approximate_diameter;
+
+/// The CL-DIAM quotient upper bound as a [`DiameterOracle`]: a full
+/// clustering + quotient pipeline run on whichever (component) graph the
+/// bounds engine hands it, dense or compressed.
+struct QuotientOracle<'a> {
+    config: &'a ClusterConfig,
+}
+
+impl DiameterOracle for QuotientOracle<'_> {
+    fn diameter_upper_bound<G: NeighborSource>(&self, graph: &G) -> Dist {
+        approximate_diameter(graph, self.config).upper_bound
+    }
+}
 
 /// Configuration of the anytime bound-tightening run.
 #[derive(Clone, Debug, Default)]
@@ -46,18 +62,17 @@ impl AnytimeConfig {
 
 /// Runs the anytime engine over a precomputed component split (undirected
 /// graphs only — see [`anytime_diameter`] for the directed dispatch).
-pub fn anytime_diameter_with_split(
-    graph: &Graph,
+pub fn anytime_diameter_with_split<G: NeighborSource>(
+    graph: &G,
     config: &AnytimeConfig,
     split: &ComponentSplit,
 ) -> BoundsOutcome {
-    let oracle = config
-        .cluster
-        .as_ref()
-        .map(|c| move |g: &Graph| -> Dist { approximate_diameter(g, c).upper_bound });
-    match &oracle {
-        Some(f) => bounds_diameter_with_split(graph, &config.bounds, Some(f), split),
-        None => bounds_diameter_with_split(graph, &config.bounds, None, split),
+    match &config.cluster {
+        Some(c) => {
+            let oracle = QuotientOracle { config: c };
+            bounds_diameter_with_split(graph, &config.bounds, Some(&oracle), split)
+        }
+        None => bounds_diameter_with_split(graph, &config.bounds, NO_ORACLE, split),
     }
 }
 
@@ -69,7 +84,7 @@ pub fn anytime_diameter(graph: &Graph, config: &AnytimeConfig) -> BoundsOutcome 
     if graph.is_directed() {
         // CL-DIAM clustering is undirected; the directed engine runs without
         // the oracle regardless of configuration.
-        return cldiam_sssp::bounds_diameter(graph, &config.bounds, None);
+        return cldiam_sssp::bounds_diameter(graph, &config.bounds, NO_ORACLE);
     }
     anytime_diameter_with_split(graph, config, &ComponentSplit::compute(graph))
 }
@@ -121,7 +136,7 @@ mod tests {
     fn no_oracle_matches_raw_engine() {
         let g = mesh(8, WeightModel::UniformUnit, 9);
         let config = AnytimeConfig::default();
-        let raw = cldiam_sssp::bounds_diameter(&g, &config.bounds, None);
+        let raw = cldiam_sssp::bounds_diameter(&g, &config.bounds, NO_ORACLE);
         assert_eq!(anytime_diameter(&g, &config), raw);
     }
 }

@@ -19,7 +19,7 @@ use cldiam_mr::CostTracker;
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
-use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_graph::{Dist, NeighborSource, NodeId};
 
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
@@ -35,7 +35,7 @@ pub const GAMMA: f64 = 2.772_588_722_239_781;
 /// and disconnected graphs alike (nodes unreachable from every selected center
 /// end up as singleton clusters, matching the paper's convention of treating
 /// components independently).
-pub fn cluster(graph: &Graph, config: &ClusterConfig) -> Clustering {
+pub fn cluster<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Clustering {
     let tracker = CostTracker::new();
     let mut scratch = GrowScratch::with_capacity(graph.num_nodes());
     let state = cluster_state(graph, config, &tracker, &mut scratch);
@@ -46,8 +46,8 @@ pub fn cluster(graph: &Graph, config: &ClusterConfig) -> Clustering {
 /// returns the raw grow-state plus bookkeeping. The caller provides the
 /// growing scratch, so every stage and every wave of the decomposition reuses
 /// the same frontier buffers and atomic cells.
-pub(crate) fn cluster_state(
-    graph: &Graph,
+pub(crate) fn cluster_state<G: NeighborSource>(
+    graph: &G,
     config: &ClusterConfig,
     tracker: &CostTracker,
     scratch: &mut GrowScratch,
@@ -154,7 +154,11 @@ pub(crate) struct ClusterRun {
 }
 
 /// Packages a completed grow-state into a [`Clustering`].
-pub(crate) fn finalize(graph: &Graph, run: ClusterRun, tracker: &CostTracker) -> Clustering {
+pub(crate) fn finalize<G: NeighborSource>(
+    graph: &G,
+    run: ClusterRun,
+    tracker: &CostTracker,
+) -> Clustering {
     let n = graph.num_nodes();
     let mut centers: Vec<NodeId> =
         (0..n as NodeId).filter(|&u| run.state.center[u as usize] == u).collect();
@@ -189,7 +193,7 @@ mod tests {
 
     /// Distances recorded by the clustering must upper-bound the true
     /// distances to the assigned centers.
-    fn assert_distances_are_upper_bounds(graph: &Graph, clustering: &Clustering) {
+    fn assert_distances_are_upper_bounds(graph: &cldiam_graph::Graph, clustering: &Clustering) {
         for &c in &clustering.centers {
             let sp = dijkstra(graph, c);
             for u in 0..graph.num_nodes() {
@@ -256,7 +260,7 @@ mod tests {
 
     #[test]
     fn handles_disconnected_graphs_with_singletons() {
-        let g = Graph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (4, 5, 3)]);
+        let g = cldiam_graph::Graph::from_edges(6, &[(0, 1, 2), (1, 2, 2), (4, 5, 3)]);
         let clustering = cluster(&g, &default_config(1, 1));
         clustering.validate(&g).expect("valid clustering");
         // Node 3 is isolated: it must be its own (singleton) cluster.
@@ -266,10 +270,10 @@ mod tests {
 
     #[test]
     fn handles_tiny_graphs() {
-        let empty = Graph::empty(0);
+        let empty = cldiam_graph::Graph::empty(0);
         let c0 = cluster(&empty, &default_config(2, 1));
         assert_eq!(c0.num_clusters(), 0);
-        let single = Graph::empty(1);
+        let single = cldiam_graph::Graph::empty(1);
         let c1 = cluster(&single, &default_config(2, 1));
         assert_eq!(c1.num_clusters(), 1);
         assert_eq!(c1.assignment, vec![0]);

@@ -28,7 +28,7 @@ use cldiam_mr::CostTracker;
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
-use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_graph::{Dist, NeighborSource, NodeId};
 
 use crate::cluster::{cluster_state, finalize, ClusterRun};
 use crate::clustering::Clustering;
@@ -40,7 +40,7 @@ use crate::state::GrowState;
 ///
 /// The preliminary `CLUSTER` call (used only for its radius estimate) runs
 /// with the same configuration; its cost is included in the returned metrics.
-pub fn cluster2(graph: &Graph, config: &ClusterConfig) -> Clustering {
+pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Clustering {
     let n = graph.num_nodes();
     let tracker = CostTracker::new();
     if n == 0 {
@@ -215,8 +215,8 @@ mod tests {
 
     #[test]
     fn handles_empty_and_singleton_graphs() {
-        assert_eq!(cluster2(&Graph::empty(0), &config(1, 1)).num_clusters(), 0);
-        let one = cluster2(&Graph::empty(1), &config(1, 1));
+        assert_eq!(cluster2(&cldiam_graph::Graph::empty(0), &config(1, 1)).num_clusters(), 0);
+        let one = cluster2(&cldiam_graph::Graph::empty(1), &config(1, 1));
         assert_eq!(one.num_clusters(), 1);
         assert_eq!(one.assignment, vec![0]);
     }

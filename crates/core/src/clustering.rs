@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_graph::{Dist, NeighborSource, NodeId};
 use cldiam_mr::CostMetrics;
 
 /// A clustering (τ-clustering in the paper's terminology): a partition of the
@@ -66,7 +66,7 @@ impl Clustering {
     /// 4. the recorded radius is attained by some node.
     ///
     /// Returns a description of the first violated invariant, if any.
-    pub fn validate(&self, graph: &Graph) -> Result<(), String> {
+    pub fn validate<G: NeighborSource>(&self, graph: &G) -> Result<(), String> {
         if self.assignment.len() != graph.num_nodes() {
             return Err(format!(
                 "assignment covers {} nodes but the graph has {}",
@@ -101,6 +101,7 @@ impl Clustering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cldiam_graph::Graph;
 
     fn toy_clustering() -> (Graph, Clustering) {
         let graph = Graph::from_edges(4, &[(0, 1, 2), (1, 2, 2), (2, 3, 2)]);

@@ -1,6 +1,6 @@
 //! Configuration of the clustering / diameter-approximation pipeline.
 
-use cldiam_graph::{Dist, Graph};
+use cldiam_graph::{Dist, NeighborSource};
 
 /// Policy for the initial value of the growth threshold `Δ`.
 ///
@@ -22,7 +22,7 @@ pub enum InitialDelta {
 
 impl InitialDelta {
     /// Resolves the policy against a concrete graph (always at least 1).
-    pub fn resolve(&self, graph: &Graph) -> Dist {
+    pub fn resolve<G: NeighborSource>(&self, graph: &G) -> Dist {
         match *self {
             InitialDelta::MinWeight => Dist::from(graph.min_weight().unwrap_or(1)).max(1),
             InitialDelta::AvgWeight => Dist::from(graph.avg_weight().unwrap_or(1)).max(1),
@@ -124,6 +124,7 @@ impl ClusterConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cldiam_graph::Graph;
 
     #[test]
     fn initial_delta_resolution() {

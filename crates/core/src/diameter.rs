@@ -7,7 +7,7 @@
 //! diameter whenever the per-node distances are genuine upper bounds — which
 //! they are by construction in this implementation.
 
-use cldiam_graph::{Dist, Graph};
+use cldiam_graph::{Dist, NeighborSource};
 use cldiam_mr::CostMetrics;
 use cldiam_sssp::{diameter_lower_bound, exact_diameter};
 
@@ -74,7 +74,7 @@ impl ClDiam {
     }
 
     /// Runs the graph decomposition stage only.
-    pub fn decompose(&self, graph: &Graph) -> Clustering {
+    pub fn decompose<G: NeighborSource>(&self, graph: &G) -> Clustering {
         if self.config.use_cluster2 {
             cluster2(graph, &self.config)
         } else {
@@ -84,7 +84,7 @@ impl ClDiam {
 
     /// Runs the full pipeline: decomposition, quotient construction and
     /// quotient-diameter computation.
-    pub fn run(&self, graph: &Graph) -> DiameterEstimate {
+    pub fn run<G: NeighborSource>(&self, graph: &G) -> DiameterEstimate {
         let clustering = self.decompose(graph);
         self.estimate_from_clustering(graph, &clustering)
     }
@@ -92,9 +92,9 @@ impl ClDiam {
     /// Builds the quotient of an existing clustering and finishes the
     /// estimate. Exposed so ablations can reuse one decomposition across
     /// several quotient strategies.
-    pub fn estimate_from_clustering(
+    pub fn estimate_from_clustering<G: NeighborSource>(
         &self,
-        graph: &Graph,
+        graph: &G,
         clustering: &Clustering,
     ) -> DiameterEstimate {
         let quotient = quotient_graph(graph, clustering);
@@ -138,7 +138,10 @@ impl ClDiam {
 }
 
 /// Convenience function: runs `CL-DIAM` on `graph` with `config`.
-pub fn approximate_diameter(graph: &Graph, config: &ClusterConfig) -> DiameterEstimate {
+pub fn approximate_diameter<G: NeighborSource>(
+    graph: &G,
+    config: &ClusterConfig,
+) -> DiameterEstimate {
     ClDiam::new(config.clone()).run(graph)
 }
 
@@ -153,7 +156,7 @@ mod tests {
         ClusterConfig::default().with_tau(tau).with_seed(seed)
     }
 
-    fn check_bounds(graph: &Graph, estimate: &DiameterEstimate) -> (Dist, f64) {
+    fn check_bounds(graph: &cldiam_graph::Graph, estimate: &DiameterEstimate) -> (Dist, f64) {
         let exact = exact_diameter(graph);
         assert!(
             estimate.upper_bound >= exact,
@@ -210,10 +213,10 @@ mod tests {
 
     #[test]
     fn handles_trivial_graphs() {
-        let empty = Graph::empty(0);
+        let empty = cldiam_graph::Graph::empty(0);
         let e = approximate_diameter(&empty, &config(2, 1));
         assert_eq!(e.upper_bound, 0);
-        let single = Graph::empty(1);
+        let single = cldiam_graph::Graph::empty(1);
         let s = approximate_diameter(&single, &config(2, 1));
         assert_eq!(s.upper_bound, 0);
         assert_eq!(s.num_clusters, 1);

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, Graph, NodeId};
+use cldiam_graph::{Dist, NeighborSource, NodeId};
 
 use crate::atomic_state::{AtomicGrowCells, Proposed};
 use crate::state::{eff_below_threshold, eff_within_threshold, GrowState, NO_CENTER};
@@ -134,7 +134,12 @@ impl GrowScratch {
     /// Executes one wave from `self.frontier`, leaving the sorted updated
     /// nodes in `self.next`. Returns the step counters and how many
     /// previously-unreached nodes were assigned for the first time.
-    fn wave(&mut self, graph: &Graph, threshold: Dist, light_limit: Dist) -> (StepStats, u64) {
+    fn wave<G: NeighborSource>(
+        &mut self,
+        graph: &G,
+        threshold: Dist,
+        light_limit: Dist,
+    ) -> (StepStats, u64) {
         // Snapshot the frontier's pre-wave state: proposals must be computed
         // from the state the wave started with, exactly like the two-phase
         // formulation, even though targets are updated concurrently.
@@ -158,8 +163,7 @@ impl GrowScratch {
                 }
                 let u = frontier[i];
                 let src_plus = u + 1;
-                let (targets, weights) = graph.neighbor_slices(u);
-                for (&v, &w) in targets.iter().zip(weights) {
+                for (v, w) in graph.neighbors(u) {
                     let wd = Dist::from(w);
                     if wd > light_limit || cells.is_frozen(v as usize) {
                         continue;
@@ -227,8 +231,8 @@ impl GrowScratch {
 /// This entry point loads and stores the full state around a single wave; a
 /// multi-wave growth should go through [`partial_growth`], which keeps the
 /// state resident in the scratch's atomic cells across waves.
-pub fn delta_growing_step(
-    graph: &Graph,
+pub fn delta_growing_step<G: NeighborSource>(
+    graph: &G,
     threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
@@ -254,8 +258,8 @@ pub fn delta_growing_step(
 /// round and is bit-for-bit equivalent to [`delta_growing_step`] — the
 /// equivalence proptests and the `growing_hotpath` benchmark compare the two.
 /// Production code must use the in-place fast path.
-pub fn delta_growing_step_materialized(
-    graph: &Graph,
+pub fn delta_growing_step_materialized<G: NeighborSource>(
+    graph: &G,
     threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
@@ -319,8 +323,8 @@ pub fn delta_growing_step_materialized(
 /// state is loaded into `scratch`'s atomic cells once, every wave relaxes in
 /// place, and the result is stored back once at the end.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list plus the threaded scratch
-pub fn partial_growth(
-    graph: &Graph,
+pub fn partial_growth<G: NeighborSource>(
+    graph: &G,
     threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
@@ -382,8 +386,8 @@ pub fn partial_growth(
 /// `PartialGrowth2`: repeats Δ-growing steps until no state is updated (or a
 /// step cap fires), with no coverage goal — the growth procedure of
 /// `CLUSTER2`.
-pub fn partial_growth2(
-    graph: &Graph,
+pub fn partial_growth2<G: NeighborSource>(
+    graph: &G,
     threshold: Dist,
     light_limit: Dist,
     state: &mut GrowState,
@@ -407,7 +411,7 @@ mod tests {
     }
 
     fn grow(
-        graph: &Graph,
+        graph: &cldiam_graph::Graph,
         threshold: Dist,
         light_limit: Dist,
         state: &mut GrowState,
@@ -429,7 +433,7 @@ mod tests {
     }
 
     fn step(
-        graph: &Graph,
+        graph: &cldiam_graph::Graph,
         threshold: Dist,
         light_limit: Dist,
         state: &mut GrowState,

@@ -10,7 +10,7 @@
 
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, Graph, GraphBuilder, NodeId, Weight};
+use cldiam_graph::{Dist, Graph, GraphBuilder, NeighborSource, NodeId, Weight};
 
 use crate::clustering::Clustering;
 
@@ -47,7 +47,7 @@ impl QuotientGraph {
 /// from its smaller endpoint). Parallel quotient edges are collapsed to the
 /// lightest by the builder's parallel edge sort — no hash grouping anywhere
 /// on this path.
-pub fn quotient_graph(graph: &Graph, clustering: &Clustering) -> QuotientGraph {
+pub fn quotient_graph<G: NeighborSource>(graph: &G, clustering: &Clustering) -> QuotientGraph {
     let centers = clustering.centers.clone();
     let mut quotient_id: Vec<NodeId> = vec![NodeId::MAX; graph.num_nodes()];
     for (i, &c) in centers.iter().enumerate() {

@@ -11,6 +11,7 @@ use rayon::prelude::*;
 
 use crate::csr::Graph;
 use crate::ops;
+use crate::source::NeighborSource;
 use crate::weight::NodeId;
 
 /// Result of a connected-components computation.
@@ -83,11 +84,13 @@ impl UnionFind {
 
 /// Computes connected components with a sequential union-find. On a directed
 /// graph this yields *weakly* connected components (arc direction ignored).
-pub fn connected_components(graph: &Graph) -> ComponentLabels {
+pub fn connected_components<G: NeighborSource>(graph: &G) -> ComponentLabels {
     let n = graph.num_nodes();
     let mut uf = UnionFind::new(n);
-    for (u, v, _) in graph.edges() {
-        uf.union(u, v);
+    for u in graph.node_ids() {
+        for (v, _) in graph.neighbors(u) {
+            uf.union(u, v);
+        }
     }
     canonicalize(n, |u| uf.find(u))
 }
@@ -95,7 +98,7 @@ pub fn connected_components(graph: &Graph) -> ComponentLabels {
 /// Computes connected components with parallel label propagation
 /// (hook-and-shortcut). Produces the same labelling as
 /// [`connected_components`].
-pub fn connected_components_parallel(graph: &Graph) -> ComponentLabels {
+pub fn connected_components_parallel<G: NeighborSource>(graph: &G) -> ComponentLabels {
     let n = graph.num_nodes();
     if n == 0 {
         return ComponentLabels { labels: Vec::new(), count: 0 };
@@ -163,7 +166,10 @@ fn canonicalize(n: usize, mut root_of: impl FnMut(u32) -> u32) -> ComponentLabel
 /// tens of thousands of small components. Singleton components are omitted:
 /// their subgraph is a single isolated node, which no distance computation
 /// can say anything interesting about.
-pub fn component_subgraphs(graph: &Graph, labels: &ComponentLabels) -> Vec<(Graph, Vec<NodeId>)> {
+pub fn component_subgraphs<G: NeighborSource>(
+    graph: &G,
+    labels: &ComponentLabels,
+) -> Vec<(Graph, Vec<NodeId>)> {
     assert!(!graph.is_directed(), "component_subgraphs expects an undirected graph");
     let sizes = labels.sizes();
     // Dense slot per non-singleton component, in label (= smallest-member)
@@ -185,10 +191,15 @@ pub fn component_subgraphs(graph: &Graph, labels: &ComponentLabels) -> Vec<(Grap
     }
     let mut builders: Vec<crate::GraphBuilder> =
         members.iter().map(|m| crate::GraphBuilder::new(m.len())).collect();
-    for (u, v, w) in graph.edges() {
+    for u in graph.node_ids() {
         let s = slot[labels.labels[u as usize] as usize];
-        if s != usize::MAX {
-            builders[s].add_edge(local[u as usize], local[v as usize], w);
+        if s == usize::MAX {
+            continue;
+        }
+        for (v, w) in graph.neighbors(u) {
+            if u < v {
+                builders[s].add_edge(local[u as usize], local[v as usize], w);
+            }
         }
     }
     builders.into_iter().zip(members).map(|(b, m)| (b.build(), m)).collect()

@@ -1,6 +1,8 @@
 //! Compressed-sparse-row storage for weighted graphs (undirected by
 //! default, with an opt-in directed mode carrying a reverse CSR).
 
+use crate::source::NeighborSource;
+use crate::storage::Storage;
 use crate::weight::{Dist, NodeId, Weight};
 
 /// The incoming-arc adjacency of a directed graph: a second CSR indexed by
@@ -29,12 +31,14 @@ struct ReverseCsr {
 /// which guarantees these invariants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    /// `offsets[u]..offsets[u + 1]` indexes the arcs leaving `u`.
-    offsets: Vec<usize>,
+    /// `offsets[u]..offsets[u + 1]` indexes the arcs leaving `u`. Owned or,
+    /// for graphs loaded from a v2 snapshot via mmap, a zero-copy view into
+    /// the mapped file.
+    offsets: Storage<usize>,
     /// Arc targets, grouped by source node and sorted by target within a node.
-    targets: Vec<NodeId>,
+    targets: Storage<NodeId>,
     /// Arc weights, parallel to `targets`.
-    weights: Vec<Weight>,
+    weights: Storage<Weight>,
     /// Incoming-arc CSR; present exactly when the graph is directed.
     rev: Option<Box<ReverseCsr>>,
 }
@@ -101,6 +105,33 @@ impl Graph {
     /// offsets, targets out of range, zero weights, or self loops).
     pub fn from_csr(offsets: Vec<usize>, targets: Vec<NodeId>, weights: Vec<Weight>) -> Self {
         validate_csr(&offsets, &targets, &weights);
+        Graph {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.into(),
+            rev: None,
+        }
+    }
+
+    /// Assembles an undirected graph straight from (possibly mapped) storage,
+    /// checking only the O(1) shape invariants.
+    ///
+    /// This is the mmap fast path of the v2 snapshot loader: the arrays were
+    /// validated in full when the snapshot was written, so the O(arcs)
+    /// re-validation of [`Graph::from_csr`] is skipped. Callers must only
+    /// pass storage produced by this crate's snapshot writer.
+    pub(crate) fn from_storage_unchecked(
+        offsets: Storage<usize>,
+        targets: Storage<NodeId>,
+        weights: Storage<Weight>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least one entry");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "last offset must equal the number of arcs"
+        );
+        assert_eq!(targets.len(), weights.len(), "targets and weights must be parallel");
         Graph { offsets, targets, weights, rev: None }
     }
 
@@ -118,7 +149,12 @@ impl Graph {
     ) -> Self {
         validate_csr(&offsets, &targets, &weights);
         let rev = reverse_of(&offsets, &targets, &weights);
-        Graph { offsets, targets, weights, rev: Some(Box::new(rev)) }
+        Graph {
+            offsets: offsets.into(),
+            targets: targets.into(),
+            weights: weights.into(),
+            rev: Some(Box::new(rev)),
+        }
     }
 
     /// Builds a graph from an explicit undirected edge list.
@@ -136,7 +172,12 @@ impl Graph {
 
     /// An empty graph with `n` isolated nodes.
     pub fn empty(n: usize) -> Self {
-        Graph { offsets: vec![0; n + 1], targets: Vec::new(), weights: Vec::new(), rev: None }
+        Graph {
+            offsets: vec![0; n + 1].into(),
+            targets: Vec::new().into(),
+            weights: Vec::new().into(),
+            rev: None,
+        }
     }
 
     /// `true` if the graph carries a directed arc set (and hence a reverse
@@ -336,6 +377,63 @@ impl Graph {
     /// Raw CSR arc-weight array, parallel to [`Graph::targets`].
     pub fn weights(&self) -> &[Weight] {
         &self.weights
+    }
+}
+
+/// Neighbor iterator of the dense tier: a zip of the target and weight
+/// slices of one node.
+pub type DenseNeighbors<'a> = std::iter::Zip<
+    std::iter::Copied<std::slice::Iter<'a, NodeId>>,
+    std::iter::Copied<std::slice::Iter<'a, Weight>>,
+>;
+
+impl NeighborSource for Graph {
+    type Neighbors<'a> = DenseNeighbors<'a>;
+
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        Graph::num_arcs(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, u: NodeId) -> DenseNeighbors<'_> {
+        let (targets, weights) = self.neighbor_slices(u);
+        targets.iter().copied().zip(weights.iter().copied())
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        Graph::degree(self, u)
+    }
+
+    #[inline]
+    fn is_directed(&self) -> bool {
+        Graph::is_directed(self)
+    }
+
+    fn min_weight(&self) -> Option<Weight> {
+        Graph::min_weight(self)
+    }
+
+    fn max_weight(&self) -> Option<Weight> {
+        Graph::max_weight(self)
+    }
+
+    fn avg_weight(&self) -> Option<Weight> {
+        Graph::avg_weight(self)
+    }
+
+    fn total_weight(&self) -> Dist {
+        Graph::total_weight(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Graph::memory_bytes(self)
     }
 }
 

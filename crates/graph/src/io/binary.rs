@@ -37,8 +37,9 @@ pub const MAGIC: &[u8; 4] = b"CLDG";
 /// Current format version; bumped on any layout change.
 pub const FORMAT_VERSION: u32 = 1;
 
-/// 64-bit FNV-1a, the integrity checksum of the snapshot sections.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a, the integrity checksum of the snapshot sections (shared
+/// with the v2 layout in [`crate::io::snapshot`]).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -176,7 +177,27 @@ pub fn parse_binary(bytes: &[u8]) -> Result<Graph, IoError> {
             bytes.len() - cur.pos
         )));
     }
+    decode_validated_dense(n, arcs, offsets_raw, targets_raw, weights_raw)
+}
 
+/// Decodes little-endian CSR sections into an undirected [`Graph`], checking
+/// every structural invariant (monotone spanning offsets, sorted in-range
+/// targets, no self loops, positive weights, arc symmetry). Never panics on
+/// hostile input. Shared by the v1 parser and the buffered v2 dense loader.
+pub(crate) fn decode_validated_dense(
+    n: usize,
+    arcs: usize,
+    offsets_raw: &[u8],
+    targets_raw: &[u8],
+    weights_raw: &[u8],
+) -> Result<Graph, IoError> {
+    if offsets_raw.len() != (n + 1) * 8
+        || targets_raw.len() != arcs * 4
+        || weights_raw.len() != arcs * 4
+    {
+        return Err(IoError::Format("CSR section sizes do not match the header".to_string()));
+    }
+    let num_arcs = arcs as u64;
     let mut offsets = Vec::with_capacity(n + 1);
     for chunk in offsets_raw.chunks_exact(8) {
         let o = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));

@@ -27,6 +27,8 @@
 pub mod binary;
 pub mod dimacs;
 pub mod edgelist;
+pub mod snapshot;
+pub mod varint;
 
 use std::io::Read;
 use std::path::{Path, PathBuf};
@@ -184,7 +186,7 @@ pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
 /// [`load_graph`] over an in-memory buffer (`path` only informs detection).
 pub fn load_graph_bytes(path: &Path, bytes: &[u8]) -> Result<Graph, IoError> {
     match detect_format(path, &bytes[..bytes.len().min(4096)]) {
-        FileFormat::Binary => binary::parse_binary(bytes),
+        FileFormat::Binary => Ok(snapshot::parse_snapshot_bytes(bytes)?.graph.into_dense()),
         FileFormat::Dimacs => dimacs::parse_dimacs_bytes(bytes),
         FileFormat::EdgeList => edgelist::parse_edge_list_bytes(bytes),
     }
@@ -213,9 +215,10 @@ pub fn load_graph_bytes_as(
 ) -> Result<LoadedGraph, IoError> {
     match detect_format(path, &bytes[..bytes.len().min(4096)]) {
         FileFormat::Binary => match direction {
-            EdgeDirection::Symmetrize => {
-                Ok(LoadedGraph { graph: binary::parse_binary(bytes)?, asymmetric_arcs: 0 })
-            }
+            EdgeDirection::Symmetrize => Ok(LoadedGraph {
+                graph: snapshot::parse_snapshot_bytes(bytes)?.graph.into_dense(),
+                asymmetric_arcs: 0,
+            }),
             EdgeDirection::Directed => Err(IoError::Format(
                 "binary snapshots are undirected; load the original text file in directed mode"
                     .to_string(),
@@ -235,11 +238,93 @@ pub fn snapshot_path(path: &Path) -> PathBuf {
     PathBuf::from(name)
 }
 
+/// How [`load_graph_cached_with`] should materialize and serve the snapshot
+/// cache.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheOptions {
+    /// Write (and prefer) compressed v2 payloads instead of dense ones.
+    pub compress: bool,
+    /// Shard count for compressed payloads (clamped to `1..=num_nodes`).
+    pub shards: usize,
+    /// Serve snapshot payloads zero-copy from a memory mapping.
+    pub mmap: bool,
+    /// Verify payload checksums on the mmap path (buffered loads always do).
+    pub verify: bool,
+}
+
+impl Default for CacheOptions {
+    fn default() -> Self {
+        CacheOptions { compress: false, shards: 1, mmap: false, verify: true }
+    }
+}
+
+impl CacheOptions {
+    fn snapshot_options(&self) -> snapshot::SnapshotOptions {
+        snapshot::SnapshotOptions { mmap: self.mmap, verify: self.verify }
+    }
+
+    /// Whether an already-loaded cache payload matches what was requested
+    /// (tier and, for the compressed tier, shard count).
+    fn matches(&self, graph: &snapshot::SnapshotGraph) -> bool {
+        match graph {
+            snapshot::SnapshotGraph::Dense(_) => !self.compress,
+            snapshot::SnapshotGraph::Compressed(c) => {
+                self.compress
+                    && c.num_shards()
+                        == crate::CompressedGraph::from_graph_shard_count(
+                            c.num_nodes(),
+                            self.shards,
+                        )
+            }
+        }
+    }
+
+    /// Converts a dense graph into the requested payload tier.
+    fn payload_of(&self, graph: Graph) -> snapshot::SnapshotGraph {
+        if self.compress {
+            snapshot::SnapshotGraph::Compressed(crate::CompressedGraph::from_graph(
+                &graph,
+                self.shards,
+            ))
+        } else {
+            snapshot::SnapshotGraph::Dense(graph)
+        }
+    }
+}
+
+/// Best-effort cache write; a failure (read-only dataset directory, disk
+/// full) must never fail a load that already succeeded. Returns whether the
+/// write landed.
+fn try_write_cache(graph: &snapshot::SnapshotGraph, cache: &Path) -> bool {
+    let payload = match graph {
+        snapshot::SnapshotGraph::Dense(g) => snapshot::SnapshotPayload::Dense(g),
+        snapshot::SnapshotGraph::Compressed(c) => snapshot::SnapshotPayload::Compressed(c),
+    };
+    snapshot::write_snapshot_file(&payload, cache).is_ok()
+}
+
 /// Loads `path` through its binary snapshot: if a fresh snapshot exists
 /// (newer than the text file), it is read instead of the text; otherwise the
 /// text is parsed and the snapshot (re)written for the next run. Returns the
 /// graph and `true` when the snapshot was used.
+///
+/// Robust against format drift: a cache written by an older format version
+/// (or any unreadable/corrupt cache) is transparently regenerated from the
+/// text source — and a still-valid v1 cache is upgraded to v2 in place.
 pub fn load_graph_cached<P: AsRef<Path>>(path: P) -> Result<(Graph, bool), IoError> {
+    load_graph_cached_with(path, &CacheOptions::default())
+        .map(|(graph, cached)| (graph.into_dense(), cached))
+}
+
+/// [`load_graph_cached`] with explicit [`CacheOptions`]: the cache can hold a
+/// compressed payload, be served zero-copy via mmap, and is rewritten
+/// whenever its tier or shard count does not match the request (converting
+/// in memory — the text is only re-parsed when the cache is stale or
+/// unreadable).
+pub fn load_graph_cached_with<P: AsRef<Path>>(
+    path: P,
+    options: &CacheOptions,
+) -> Result<(snapshot::SnapshotGraph, bool), IoError> {
     let path = path.as_ref();
     let cache = snapshot_path(path);
     let fresh = match (std::fs::metadata(&cache), std::fs::metadata(path)) {
@@ -249,24 +334,47 @@ pub fn load_graph_cached<P: AsRef<Path>>(path: P) -> Result<(Graph, bool), IoErr
         },
         _ => false,
     };
+    // A stale, corrupt or future-versioned snapshot falls through to a text
+    // re-parse.
     if fresh {
-        if let Ok(graph) = binary::read_binary_file(&cache) {
-            return Ok((graph, true));
+        if let Ok(snap) = snapshot::read_snapshot_file(&cache, &options.snapshot_options()) {
+            if snap.version == snapshot::FORMAT_VERSION_2 && options.matches(&snap.graph) {
+                return Ok((snap.graph, true));
+            }
+            // Tier/shard/version mismatch: convert in memory, upgrade the
+            // cache, and (on the mmap path) re-read so the result is
+            // actually served from the new mapping.
+            let converted = options.payload_of(snap.graph.into_dense());
+            if try_write_cache(&converted, &cache) && options.mmap {
+                if let Ok(snap) = snapshot::read_snapshot_file(&cache, &options.snapshot_options())
+                {
+                    return Ok((snap.graph, true));
+                }
+            }
+            return Ok((converted, true));
         }
-        // A stale or corrupt snapshot falls through to a text re-parse.
     }
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     if detect_format(path, &bytes[..bytes.len().min(4096)]) == FileFormat::Binary {
         // The input already is a snapshot; writing a `.cldg.cldg` copy next
-        // to it would only duplicate it.
-        return binary::parse_binary(&bytes).map(|graph| (graph, true));
+        // to it would only duplicate it. Honour the requested tier in memory.
+        let snap = snapshot::parse_snapshot_bytes(&bytes)?;
+        let graph = if options.matches(&snap.graph) {
+            snap.graph
+        } else {
+            options.payload_of(snap.graph.into_dense())
+        };
+        return Ok((graph, true));
     }
     let graph = load_graph_bytes(path, &bytes)?;
-    // The cache is best-effort: a failed write (read-only dataset directory,
-    // disk full) must not fail a load that already succeeded.
-    let _ = binary::write_binary_file(&graph, &cache);
-    Ok((graph, false))
+    let payload = options.payload_of(graph);
+    if try_write_cache(&payload, &cache) && options.mmap {
+        if let Ok(snap) = snapshot::read_snapshot_file(&cache, &options.snapshot_options()) {
+            return Ok((snap.graph, false));
+        }
+    }
+    Ok((payload, false))
 }
 
 /// One newline-aligned slice of the input plus the number of lines it spans.

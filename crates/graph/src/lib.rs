@@ -31,11 +31,15 @@
 pub mod atomic;
 pub mod builder;
 pub mod components;
+pub mod compressed;
 pub mod csr;
 pub mod io;
+pub mod mmap;
 pub mod ops;
 pub mod properties;
+pub mod source;
 pub mod stats;
+mod storage;
 pub mod traversal;
 pub mod weight;
 
@@ -44,12 +48,18 @@ pub use builder::GraphBuilder;
 pub use components::{
     component_subgraphs, connected_components, largest_component, ComponentLabels,
 };
+pub use compressed::CompressedGraph;
 pub use csr::Graph;
 pub use io::edgelist;
-pub use io::{
-    detect_format, load_graph, load_graph_as, load_graph_cached, EdgeDirection, FileFormat,
-    IoError, LoadedGraph,
+pub use io::snapshot::{
+    parse_snapshot_bytes, read_snapshot_file, snapshot_version, write_snapshot_file, Snapshot,
+    SnapshotGraph, SnapshotOptions, SnapshotPayload,
 };
+pub use io::{
+    detect_format, load_graph, load_graph_as, load_graph_cached, load_graph_cached_with,
+    CacheOptions, EdgeDirection, FileFormat, IoError, LoadedGraph,
+};
+pub use source::NeighborSource;
 pub use stats::GraphStats;
 pub use weight::{
     dist_to_unit, weight_from_unit, weight_to_unit, Dist, NodeId, Weight, INFINITY, WEIGHT_SCALE,

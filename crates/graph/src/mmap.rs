@@ -1,0 +1,189 @@
+//! Minimal read-only memory mapping with hand-rolled `mmap`/`munmap`
+//! bindings (the vendor policy is offline — no `libc`, no `memmap2`).
+//!
+//! On Unix this maps the file `MAP_PRIVATE | PROT_READ` and exposes it as a
+//! `&[u8]`; the mapping is page-aligned, so any section offset that is a
+//! multiple of 8 is 8-byte-aligned in memory, which the `.cldg` v2 layout
+//! guarantees for every payload section. On non-Unix targets [`Mmap::map`]
+//! transparently degrades to reading the file into an owned buffer, so
+//! callers stay platform-agnostic.
+
+use std::fs::File;
+use std::io;
+
+/// A read-only view of an entire file, memory-mapped where the platform
+/// supports it.
+pub struct Mmap {
+    #[cfg(unix)]
+    inner: unix::Mapping,
+    #[cfg(not(unix))]
+    inner: Vec<u8>,
+}
+
+impl Mmap {
+    /// Maps `file` in its entirety. Zero-length files produce an empty view
+    /// without calling `mmap` (which rejects `len == 0`).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        #[cfg(unix)]
+        {
+            Ok(Mmap { inner: unix::Mapping::map(file)? })
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read;
+            let mut buf = Vec::new();
+            let mut file = file;
+            file.read_to_end(&mut buf)?;
+            Ok(Mmap { inner: buf })
+        }
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        #[cfg(unix)]
+        {
+            self.inner.as_slice()
+        }
+        #[cfg(not(unix))]
+        {
+            &self.inner
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapped file was empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::fs::File;
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// Owned `mmap` region; unmapped on drop. A zero-length mapping holds a
+    /// dangling pointer and never touches the kernel.
+    pub(super) struct Mapping {
+        ptr: *const u8,
+        len: usize,
+    }
+
+    // The region is immutable (PROT_READ, MAP_PRIVATE) for the lifetime of
+    // the value, so shared references from any thread are sound.
+    unsafe impl Send for Mapping {}
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        pub(super) fn map(file: &File) -> io::Result<Mapping> {
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Mapping { ptr: std::ptr::NonNull::dangling().as_ptr(), len: 0 });
+            }
+            let len = usize::try_from(len)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr: ptr as *const u8, len })
+        }
+
+        #[inline]
+        pub(super) fn as_slice(&self) -> &[u8] {
+            // Safety: `ptr` covers `len` readable bytes for the lifetime of
+            // `self` (or is a dangling pointer with `len == 0`, which
+            // `from_raw_parts` permits).
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            if self.len > 0 {
+                // Safety: this is the unique owner of the mapping.
+                unsafe {
+                    munmap(self.ptr as *mut c_void, self.len);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("cldiam-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("contents", b"hello mapping");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(&*map, b"hello mapping");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_files_map_to_empty_slices() {
+        let path = temp_file("empty", b"");
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_is_page_aligned() {
+        let path = temp_file("aligned", &[0u8; 64]);
+        let map = Mmap::map(&File::open(&path).unwrap()).unwrap();
+        assert_eq!(map.as_slice().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

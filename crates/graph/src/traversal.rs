@@ -9,7 +9,7 @@ use std::collections::VecDeque;
 
 use rayon::prelude::*;
 
-use crate::csr::Graph;
+use crate::source::NeighborSource;
 use crate::weight::NodeId;
 
 /// Hop distance assigned to unreachable nodes.
@@ -17,13 +17,13 @@ pub const UNREACHABLE: u32 = u32::MAX;
 
 /// Breadth-first search from `source`; returns the hop distance of every node
 /// ([`UNREACHABLE`] for nodes in other components).
-pub fn bfs_hops(graph: &Graph, source: NodeId) -> Vec<u32> {
+pub fn bfs_hops<G: NeighborSource>(graph: &G, source: NodeId) -> Vec<u32> {
     multi_source_bfs(graph, std::slice::from_ref(&source))
 }
 
 /// Breadth-first search from a set of sources; each node gets the hop distance
 /// to the nearest source.
-pub fn multi_source_bfs(graph: &Graph, sources: &[NodeId]) -> Vec<u32> {
+pub fn multi_source_bfs<G: NeighborSource>(graph: &G, sources: &[NodeId]) -> Vec<u32> {
     let n = graph.num_nodes();
     let mut dist = vec![UNREACHABLE; n];
     let mut queue = VecDeque::with_capacity(sources.len());
@@ -48,7 +48,7 @@ pub fn multi_source_bfs(graph: &Graph, sources: &[NodeId]) -> Vec<u32> {
 /// A frontier-parallel BFS that processes one level per step, mirroring how a
 /// MapReduce round would expand the frontier. Returns the same hop distances
 /// as [`bfs_hops`] together with the number of levels (rounds) executed.
-pub fn parallel_bfs_hops(graph: &Graph, source: NodeId) -> (Vec<u32>, usize) {
+pub fn parallel_bfs_hops<G: NeighborSource>(graph: &G, source: NodeId) -> (Vec<u32>, usize) {
     let n = graph.num_nodes();
     let mut dist = vec![UNREACHABLE; n];
     dist[source as usize] = 0;
@@ -83,14 +83,14 @@ pub fn parallel_bfs_hops(graph: &Graph, source: NodeId) -> (Vec<u32>, usize) {
 
 /// Unweighted eccentricity of `source` restricted to its component (maximum
 /// finite hop distance).
-pub fn hop_eccentricity(graph: &Graph, source: NodeId) -> u32 {
+pub fn hop_eccentricity<G: NeighborSource>(graph: &G, source: NodeId) -> u32 {
     bfs_hops(graph, source).into_iter().filter(|&d| d != UNREACHABLE).max().unwrap_or(0)
 }
 
 /// Double-sweep lower bound for the unweighted diameter `Ψ(G)`: BFS from a
 /// start node, then BFS again from the farthest node found. On many practical
 /// graph classes (road networks, meshes) this is exact or nearly so.
-pub fn double_sweep_hop_diameter(graph: &Graph, start: NodeId) -> u32 {
+pub fn double_sweep_hop_diameter<G: NeighborSource>(graph: &G, start: NodeId) -> u32 {
     if graph.num_nodes() == 0 {
         return 0;
     }
@@ -108,6 +108,7 @@ pub fn double_sweep_hop_diameter(graph: &Graph, start: NodeId) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Graph;
 
     fn path(n: usize) -> Graph {
         let edges: Vec<_> = (0..n - 1).map(|i| (i as NodeId, (i + 1) as NodeId, 1)).collect();

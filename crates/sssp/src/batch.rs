@@ -34,7 +34,7 @@ use std::sync::Mutex;
 
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{Dist, Graph, NeighborSource, NodeId, INFINITY};
 
 /// Which adjacency a directed scratch run traverses.
 ///
@@ -84,8 +84,33 @@ impl DijkstraScratch {
     /// # Panics
     ///
     /// Panics if `source` is not a node of `graph`.
-    pub fn run(&mut self, graph: &Graph, source: NodeId) {
-        self.run_directed(graph, source, SsspDirection::Forward)
+    pub fn run<G: NeighborSource>(&mut self, graph: &G, source: NodeId) {
+        let n = graph.num_nodes();
+        assert!((source as usize) < n, "source {source} out of range (n = {n})");
+        self.ensure(n);
+        for v in self.reached.drain(..) {
+            self.dist[v as usize] = INFINITY;
+        }
+        self.heap.clear();
+
+        self.dist[source as usize] = 0;
+        self.reached.push(source);
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist[u as usize] {
+                continue; // stale entry
+            }
+            for (v, w) in graph.neighbors(u) {
+                let candidate = d + Dist::from(w);
+                if candidate < self.dist[v as usize] {
+                    if self.dist[v as usize] == INFINITY {
+                        self.reached.push(v);
+                    }
+                    self.dist[v as usize] = candidate;
+                    self.heap.push(Reverse((candidate, v)));
+                }
+            }
+        }
     }
 
     /// [`DijkstraScratch::run`] with an explicit traversal direction. A
@@ -211,8 +236,8 @@ impl ScratchPool {
 /// and maps each completed run through `f` (eccentricity, farthest node,
 /// any distance reads). Results are returned in source order and are
 /// bit-identical at any thread count.
-pub fn multi_source_dijkstra<T: Send>(
-    graph: &Graph,
+pub fn multi_source_dijkstra<G: NeighborSource, T: Send>(
+    graph: &G,
     sources: &[NodeId],
     f: impl Fn(NodeId, &DijkstraScratch) -> T + Sync,
 ) -> Vec<T> {
@@ -233,7 +258,7 @@ pub fn multi_source_dijkstra<T: Send>(
 /// pinned against) the per-source loop
 /// `sources.map(|s| dijkstra(graph, s).eccentricity())`, without the
 /// per-source state allocations.
-pub fn batched_eccentricities(graph: &Graph, sources: &[NodeId]) -> Vec<Dist> {
+pub fn batched_eccentricities<G: NeighborSource>(graph: &G, sources: &[NodeId]) -> Vec<Dist> {
     multi_source_dijkstra(graph, sources, |_, scratch| scratch.eccentricity())
 }
 

@@ -46,7 +46,7 @@
 
 use std::cmp::Reverse;
 
-use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{Dist, Graph, NeighborSource, NodeId, INFINITY};
 use rayon::prelude::*;
 
 use crate::batch::{DijkstraScratch, SsspDirection};
@@ -134,10 +134,31 @@ impl BoundsOutcome {
     }
 }
 
-/// An optional diameter-upper-bound oracle: given a (component) graph,
-/// return an upper bound on its diameter. In production this is CL-DIAM's
-/// quotient bound `Φ(G_C) + 2R`, wired up by `cldiam-core`.
-pub type BoundsOracle<'a> = Option<&'a (dyn Fn(&Graph) -> Dist + Sync)>;
+/// A diameter-upper-bound oracle: given a (component) graph, return an
+/// upper bound on its diameter. In production this is CL-DIAM's quotient
+/// bound `Φ(G_C) + 2R`, wired up by `cldiam-core`. The method is generic
+/// over the graph representation so one oracle serves dense and compressed
+/// inputs alike; implementors that need a dense graph (e.g. to cluster)
+/// should materialize one internally.
+pub trait DiameterOracle: Sync {
+    /// An upper bound on the diameter of `graph`.
+    fn diameter_upper_bound<G: NeighborSource>(&self, graph: &G) -> Dist;
+}
+
+/// The uninhabited "no oracle" type: plugs the `O: DiameterOracle` type
+/// parameter at call sites that pass `None`. Use [`NO_ORACLE`].
+#[derive(Clone, Copy, Debug)]
+pub enum NoOracle {}
+
+impl DiameterOracle for NoOracle {
+    fn diameter_upper_bound<G: NeighborSource>(&self, _graph: &G) -> Dist {
+        match *self {}
+    }
+}
+
+/// `None` with the oracle type fixed, for engine calls without an oracle:
+/// `bounds_diameter(&g, &config, NO_ORACLE)`.
+pub const NO_ORACLE: Option<&NoOracle> = None;
 
 /// `upper ≤ tolerance · lower`, with the interval closed and finite.
 fn within_tolerance(lower: Dist, upper: Dist, tolerance: f64) -> bool {
@@ -174,7 +195,7 @@ impl Intervals {
 
     /// The open node of maximum interval width (ties: larger degree, then
     /// smaller id), or `None` when the pool is empty.
-    fn widest_open(&self, graph: &Graph) -> Option<NodeId> {
+    fn widest_open<G: NeighborSource>(&self, graph: &G) -> Option<NodeId> {
         (0..self.lb.len() as NodeId)
             .filter(|&v| {
                 self.lb[v as usize] < self.ub[v as usize] && self.ub[v as usize] > self.diam_lb
@@ -196,10 +217,10 @@ impl Intervals {
 /// Runs the interval engine on one *connected undirected* graph. `mapping`
 /// translates local ids to original ids for the iteration trace (`None` =
 /// identity).
-fn bound_connected(
-    graph: &Graph,
+fn bound_connected<G: NeighborSource, O: DiameterOracle>(
+    graph: &G,
     config: &BoundsConfig,
-    oracle: BoundsOracle<'_>,
+    oracle: Option<&O>,
     mapping: Option<&[NodeId]>,
 ) -> BoundsOutcome {
     let n = graph.num_nodes();
@@ -251,7 +272,7 @@ fn bound_connected(
         if !oracle_spent && runs >= config.quotient_after {
             oracle_spent = true;
             if let Some(oracle) = oracle {
-                state.apply_cap(oracle(graph));
+                state.apply_cap(oracle.diameter_upper_bound(graph));
                 iterations.push(BoundsIteration {
                     source: None,
                     sssp_runs: runs,
@@ -289,7 +310,11 @@ fn bound_connected(
 /// per iteration. Strongly connected inputs get the interval machinery;
 /// anything else falls back to the alternating 2-dSweep chain, which
 /// certifies a lower bound only.
-fn bound_directed(graph: &Graph, config: &BoundsConfig, oracle: BoundsOracle<'_>) -> BoundsOutcome {
+fn bound_directed<O: DiameterOracle>(
+    graph: &Graph,
+    config: &BoundsConfig,
+    oracle: Option<&O>,
+) -> BoundsOutcome {
     let n = graph.num_nodes();
     if n <= 1 {
         return BoundsOutcome::trivial();
@@ -384,7 +409,7 @@ fn bound_directed(graph: &Graph, config: &BoundsConfig, oracle: BoundsOracle<'_>
         if !oracle_spent && runs >= config.quotient_after {
             oracle_spent = true;
             if let Some(oracle) = oracle {
-                state.apply_cap(oracle(graph));
+                state.apply_cap(oracle.diameter_upper_bound(graph));
                 iterations.push(BoundsIteration {
                     source: None,
                     sssp_runs: runs,
@@ -432,10 +457,10 @@ fn bound_directed(graph: &Graph, config: &BoundsConfig, oracle: BoundsOracle<'_>
 /// each with the full per-component budget; the diameter interval of the
 /// whole graph is the pointwise max (the paper's convention: the diameter
 /// of a disconnected graph is the largest intra-component distance).
-pub fn bounds_diameter_with_split(
-    graph: &Graph,
+pub fn bounds_diameter_with_split<G: NeighborSource, O: DiameterOracle>(
+    graph: &G,
     config: &BoundsConfig,
-    oracle: BoundsOracle<'_>,
+    oracle: Option<&O>,
     split: &ComponentSplit,
 ) -> BoundsOutcome {
     assert!(!graph.is_directed(), "bounds_diameter_with_split expects an undirected graph");
@@ -472,10 +497,10 @@ pub fn bounds_diameter_with_split(
 /// with [`ComponentSplit::compute`] and call [`bounds_diameter_with_split`]
 /// to share it with the other bound drivers); directed graphs run the
 /// forward/backward engine on the whole graph.
-pub fn bounds_diameter(
+pub fn bounds_diameter<O: DiameterOracle>(
     graph: &Graph,
     config: &BoundsConfig,
-    oracle: BoundsOracle<'_>,
+    oracle: Option<&O>,
 ) -> BoundsOutcome {
     if graph.is_directed() {
         return bound_directed(graph, config, oracle);
@@ -532,7 +557,16 @@ mod tests {
     use cldiam_graph::{Graph, GraphBuilder};
 
     fn run(graph: &Graph, config: &BoundsConfig) -> BoundsOutcome {
-        bounds_diameter(graph, config, None)
+        bounds_diameter(graph, config, NO_ORACLE)
+    }
+
+    /// A fixed-answer oracle for the cap tests.
+    struct Fixed(Dist);
+
+    impl DiameterOracle for Fixed {
+        fn diameter_upper_bound<G: NeighborSource>(&self, _graph: &G) -> Dist {
+            self.0
+        }
     }
 
     #[test]
@@ -607,7 +641,7 @@ mod tests {
         let g = mesh(8, WeightModel::UniformUnit, 6);
         let exact = exact_diameter(&g);
         // An exact oracle must close the interval the moment it fires.
-        let oracle = move |_: &Graph| exact;
+        let oracle = Fixed(exact);
         let config = BoundsConfig::default().with_quotient_after(1);
         let outcome = bounds_diameter(&g, &config, Some(&oracle));
         assert!(outcome.converged);

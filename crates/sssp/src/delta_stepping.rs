@@ -59,7 +59,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, Graph, MinDistCells, NodeId, Weight, INFINITY};
+use cldiam_graph::{Dist, MinDistCells, NeighborSource, NodeId, Weight, INFINITY};
 
 /// Result of a Δ-stepping run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -107,7 +107,7 @@ const RING_CAP: usize = 1024;
 /// A reasonable default bucket width: the average edge weight (clamped to at
 /// least 1). The benchmark harness additionally sweeps `Δ` over a grid and
 /// keeps the best-performing value, as the paper does.
-pub fn suggest_delta(graph: &Graph) -> Weight {
+pub fn suggest_delta<G: NeighborSource>(graph: &G) -> Weight {
     graph.avg_weight().unwrap_or(1).max(1)
 }
 
@@ -236,8 +236,8 @@ impl SsspScratch {
 /// place and collecting first-improvements-of-the-phase through the touched
 /// bitmap. Returns the number of relaxation requests generated.
 #[allow(clippy::too_many_arguments)] // hot loop over destructured scratch fields
-fn relax_phase(
-    graph: &Graph,
+fn relax_phase<G: NeighborSource>(
+    graph: &G,
     active: &[NodeId],
     snap: &[Dist],
     delta_dist: Dist,
@@ -254,11 +254,12 @@ fn relax_phase(
             let u = active[i];
             let du = snap[i];
             let mut requests = 0u64;
-            let (targets, weights) = graph.neighbor_slices(u);
-            for (&v, &w) in targets.iter().zip(weights) {
+            // Internal iteration: the compressed tier's block decoder folds
+            // this closure into one tight per-coding loop.
+            graph.neighbors(u).for_each(|(v, w)| {
                 let wd = Dist::from(w);
                 if (wd > delta_dist) != heavy {
-                    continue;
+                    return;
                 }
                 requests += 1;
                 let cand = du + wd;
@@ -267,7 +268,7 @@ fn relax_phase(
                     let slot = slot_len.fetch_add(1, Ordering::Relaxed);
                     slots[slot].store(v, Ordering::Relaxed);
                 }
-            }
+            });
             requests
         })
         .sum()
@@ -285,8 +286,8 @@ fn relax_phase(
 /// # Panics
 ///
 /// Panics if `source` is out of range or `delta` is zero.
-pub fn delta_stepping_with_scratch(
-    graph: &Graph,
+pub fn delta_stepping_with_scratch<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     delta: Weight,
     tracker: Option<&CostTracker>,
@@ -496,8 +497,8 @@ pub fn delta_stepping_with_scratch(
 /// # Panics
 ///
 /// Panics if `source` is out of range or `delta` is zero.
-pub fn delta_stepping(
-    graph: &Graph,
+pub fn delta_stepping<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     delta: Weight,
     tracker: Option<&CostTracker>,
@@ -512,8 +513,8 @@ pub fn delta_stepping(
 /// Its `updates` counter tallies improving requests in sequential apply
 /// order (see the module docs for why the engine counts improved nodes
 /// instead). Production code must use [`delta_stepping`].
-pub fn delta_stepping_reference(
-    graph: &Graph,
+pub fn delta_stepping_reference<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     delta: Weight,
     tracker: Option<&CostTracker>,
@@ -633,6 +634,7 @@ mod tests {
     use super::*;
     use crate::dijkstra::dijkstra;
     use cldiam_gen::{mesh, preferential_attachment, WeightModel};
+    use cldiam_graph::Graph;
 
     fn check_against_dijkstra(
         graph: &Graph,

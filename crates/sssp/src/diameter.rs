@@ -14,7 +14,8 @@
 //! distance/heap state instead of allocating per source.
 
 use cldiam_graph::{
-    component_subgraphs, connected_components, ComponentLabels, Dist, Graph, NodeId, INFINITY,
+    component_subgraphs, connected_components, ComponentLabels, Dist, Graph, NeighborSource,
+    NodeId, INFINITY,
 };
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
@@ -24,7 +25,7 @@ use crate::batch::{batched_eccentricities, DijkstraScratch, ScratchPool};
 use crate::dijkstra::dijkstra;
 
 /// Weighted eccentricity of `source`: the largest finite distance from it.
-pub fn eccentricity(graph: &Graph, source: NodeId) -> Dist {
+pub fn eccentricity<G: NeighborSource>(graph: &G, source: NodeId) -> Dist {
     dijkstra(graph, source).eccentricity()
 }
 
@@ -50,7 +51,7 @@ pub struct ComponentSplit {
 impl ComponentSplit {
     /// Labels the components and extracts the non-singleton subgraphs (the
     /// latter only when there are at least two components).
-    pub fn compute(graph: &Graph) -> Self {
+    pub fn compute<G: NeighborSource>(graph: &G) -> Self {
         let labels = connected_components(graph);
         let parts =
             if labels.count <= 1 { Vec::new() } else { component_subgraphs(graph, &labels) };
@@ -93,14 +94,14 @@ fn local_id(mapping: &[NodeId], node: NodeId) -> NodeId {
 /// runs on the component's own subgraph ([`component_subgraphs`], `O(n + m)`
 /// to split), so fragmented graphs pay for their components' sizes, not
 /// `components × n`.
-pub fn sssp_diameter_upper_bound(graph: &Graph, source: NodeId) -> Dist {
+pub fn sssp_diameter_upper_bound<G: NeighborSource>(graph: &G, source: NodeId) -> Dist {
     sssp_diameter_upper_bound_with_split(graph, source, &ComponentSplit::compute(graph))
 }
 
 /// [`sssp_diameter_upper_bound`] over a precomputed [`ComponentSplit`],
 /// letting several bound drivers share one split.
-pub fn sssp_diameter_upper_bound_with_split(
-    graph: &Graph,
+pub fn sssp_diameter_upper_bound_with_split<G: NeighborSource>(
+    graph: &G,
     source: NodeId,
     split: &ComponentSplit,
 ) -> Dist {
@@ -143,7 +144,7 @@ pub fn sssp_diameter_upper_bound_with_split(
 /// `O(sweeps)` Dijkstras per component *at that component's size*, so
 /// fragmented raw datasets stay tractable. The chains share one scratch pool,
 /// and each chain reuses a single scratch across its sweeps.
-pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
+pub fn diameter_lower_bound<G: NeighborSource>(graph: &G, sweeps: usize, seed: u64) -> Dist {
     if graph.num_nodes() == 0 {
         return 0;
     }
@@ -152,8 +153,8 @@ pub fn diameter_lower_bound(graph: &Graph, sweeps: usize, seed: u64) -> Dist {
 
 /// [`diameter_lower_bound`] over a precomputed [`ComponentSplit`], letting
 /// several bound drivers share one split.
-pub fn diameter_lower_bound_with_split(
-    graph: &Graph,
+pub fn diameter_lower_bound_with_split<G: NeighborSource>(
+    graph: &G,
     sweeps: usize,
     seed: u64,
     split: &ComponentSplit,
@@ -198,8 +199,8 @@ pub fn diameter_lower_bound_with_split(
 /// scratch's seen-bitmap (`O(1)` per sweep); the `Vec::contains` scan of an
 /// earlier revision was quadratic in the budget, harmless at 4 sweeps but
 /// not at the budgets the anytime bounds engine runs with.
-fn sweep_chain(
-    graph: &Graph,
+fn sweep_chain<G: NeighborSource>(
+    graph: &G,
     start: NodeId,
     sweeps: usize,
     scratch: &mut DijkstraScratch,
@@ -232,8 +233,8 @@ fn sweep_chain(
 /// SSSPs spent. Used by the anytime bounds engine to seed and refresh its
 /// diameter lower bound; see [`diameter_lower_bound`] for the randomized
 /// per-component driver.
-pub fn sweep_chain_lower_bound(
-    graph: &Graph,
+pub fn sweep_chain_lower_bound<G: NeighborSource>(
+    graph: &G,
     start: NodeId,
     sweeps: usize,
     scratch: &mut DijkstraScratch,
@@ -247,13 +248,13 @@ pub fn sweep_chain_lower_bound(
 /// Defined as the paper does for possibly-disconnected graphs: the largest
 /// distance between two nodes *in the same connected component*. Intended for
 /// small graphs (tests, quotient graphs); the cost is `O(n · m log n)`.
-pub fn exact_diameter(graph: &Graph) -> Dist {
+pub fn exact_diameter<G: NeighborSource>(graph: &G) -> Dist {
     all_eccentricities(graph).into_iter().max().unwrap_or(0)
 }
 
 /// Exact eccentricity of every node (batched all-pairs Dijkstra); useful for
 /// ablations and for validating approximation ratios in tests.
-pub fn all_eccentricities(graph: &Graph) -> Vec<Dist> {
+pub fn all_eccentricities<G: NeighborSource>(graph: &G) -> Vec<Dist> {
     let sources: Vec<NodeId> = (0..graph.num_nodes() as NodeId).collect();
     batched_eccentricities(graph, &sources)
 }

@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use cldiam_graph::{Dist, Graph, NodeId, INFINITY};
+use cldiam_graph::{Dist, NeighborSource, NodeId, INFINITY};
 
 /// Output of a single-source shortest path computation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -69,7 +69,7 @@ impl ShortestPaths {
 /// # Panics
 ///
 /// Panics if `source` is not a node of `graph`.
-pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
+pub fn dijkstra<G: NeighborSource>(graph: &G, source: NodeId) -> ShortestPaths {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range (n = {n})");
     let mut dist = vec![INFINITY; n];
@@ -102,6 +102,7 @@ pub fn dijkstra(graph: &Graph, source: NodeId) -> ShortestPaths {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cldiam_graph::Graph;
 
     fn diamond() -> Graph {
         // 0 -> 3 either via 1 (1 + 1 = 2) or via 2 (5 + 5 = 10); plus a direct

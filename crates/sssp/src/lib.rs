@@ -51,7 +51,7 @@ pub use batch::{
 pub use bellman_ford::bellman_ford;
 pub use bounds::{
     bounds_diameter, bounds_diameter_with_split, double_sweep_lower_bound, BoundsConfig,
-    BoundsIteration, BoundsOutcome,
+    BoundsIteration, BoundsOutcome, DiameterOracle, NoOracle, NO_ORACLE,
 };
 pub use delta_stepping::{
     delta_stepping, delta_stepping_reference, delta_stepping_with_scratch, suggest_delta,

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use cldiam_graph::{Graph, GraphBuilder, NodeId, Weight};
 use cldiam_sssp::{
     bounds_diameter, dijkstra, double_sweep_lower_bound, exact_diameter, sweep_chain_lower_bound,
-    BoundsConfig, ComponentSplit, DijkstraScratch, SsspDirection,
+    BoundsConfig, ComponentSplit, DijkstraScratch, SsspDirection, NO_ORACLE,
 };
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -89,7 +89,7 @@ proptest! {
         let budget = [2, 6, 4 * graph.num_nodes().max(1)][budget_sel];
         let config = BoundsConfig::default().with_max_sssp(budget);
 
-        let reference = with_pool(THREAD_COUNTS[0], || bounds_diameter(&graph, &config, None));
+        let reference = with_pool(THREAD_COUNTS[0], || bounds_diameter(&graph, &config, NO_ORACLE));
         prop_assert!(reference.lower <= exact, "final lb {} above {exact}", reference.lower);
         prop_assert!(reference.upper >= exact, "final ub {} below {exact}", reference.upper);
         if reference.converged {
@@ -117,7 +117,7 @@ proptest! {
         }
 
         for &threads in &THREAD_COUNTS[1..] {
-            let outcome = with_pool(threads, || bounds_diameter(&graph, &config, None));
+            let outcome = with_pool(threads, || bounds_diameter(&graph, &config, NO_ORACLE));
             prop_assert_eq!(&outcome, &reference, "bounds diverged at {} threads", threads);
         }
     }

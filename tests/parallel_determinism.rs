@@ -12,7 +12,7 @@ use cldiam::prelude::*;
 use cldiam_core::{cluster, quotient_graph};
 use cldiam_mr::{MrConfig, MrEngine};
 use cldiam_sssp::diameter::all_eccentricities;
-use cldiam_sssp::{bounds_diameter, delta_stepping, suggest_delta, BoundsConfig};
+use cldiam_sssp::{bounds_diameter, delta_stepping, suggest_delta, BoundsConfig, NO_ORACLE};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
 
@@ -100,7 +100,10 @@ fn bounds_engine_is_identical_across_thread_counts() {
         let connected = mesh(10, WeightModel::UniformUnit, 5);
         let disconnected = rmat(RmatParams::paper(7), WeightModel::UniformUnit, 13);
         let config = BoundsConfig::default().with_max_sssp(12);
-        (bounds_diameter(&connected, &config, None), bounds_diameter(&disconnected, &config, None))
+        (
+            bounds_diameter(&connected, &config, NO_ORACLE),
+            bounds_diameter(&disconnected, &config, NO_ORACLE),
+        )
     });
 }
 
