@@ -20,6 +20,12 @@
 //!   --bounds-budget N
 //!                   SSSP budget per component for --algo bounds (default 64)
 //!   --tolerance F   stop the bounds engine at ub ≤ F·lb (default 1.0: exact)
+//!   --timeout-ms N  wall-clock deadline for --algo bounds: the engine stops
+//!                   at the next SSSP boundary past the deadline and reports
+//!                   the best-so-far [lb, ub] with interrupted=true
+//!   --timeout-checks N
+//!                   logical deadline: stop after N cancellation checkpoints
+//!                   per component (deterministic, unlike wall-clock time)
 //!   --no-quotient   disable the CL-DIAM quotient oracle inside --algo bounds
 //!   --directed      keep arc directions (text inputs only; implies
 //!                   --algo bounds, the only direction-aware algorithm)
@@ -51,21 +57,21 @@
 
 use std::io::Read;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cldiam_bench::json::Value;
 use cldiam_bench::report::{render_table, to_json};
 use cldiam_bench::runner::{
-    baseline_source, reference_lower_bound_with_split, run_bounds, run_bounds_directed,
-    run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with,
+    baseline_source, reference_lower_bound_with_split, run_bounds_cancel,
+    run_bounds_directed_cancel, run_cldiam_with, run_delta_stepping_best, run_delta_stepping_with,
 };
 use cldiam_bench::{ResultRow, RunResult};
 use cldiam_core::{AnytimeConfig, ClusterConfig};
 use cldiam_gen::GraphSpec;
 use cldiam_graph::{
     detect_format, largest_component, load_graph_as, load_graph_cached_with, read_snapshot_file,
-    CacheOptions, CompressedGraph, EdgeDirection, FileFormat, Graph, NeighborSource, SnapshotGraph,
-    SnapshotOptions,
+    CacheOptions, CancelToken, CompressedGraph, EdgeDirection, FileFormat, Graph, NeighborSource,
+    SnapshotGraph, SnapshotOptions,
 };
 use cldiam_sssp::{BoundsConfig, ComponentSplit};
 
@@ -78,6 +84,8 @@ struct Options {
     algo: Algo,
     bounds_budget: usize,
     tolerance: f64,
+    timeout_ms: Option<u64>,
+    timeout_checks: Option<u64>,
     no_quotient: bool,
     directed: bool,
     symmetrize: bool,
@@ -112,7 +120,8 @@ enum Algo {
 const USAGE: &str =
     "usage: cldiam <PATH | gen:SPEC> [--tau N] [--quotient N] [--delta D] [--cluster2]\n\
                      \u{20}             [--algo cldiam|delta|both|bounds] [--bounds-budget N]\n\
-                     \u{20}             [--tolerance F] [--no-quotient] [--directed | --symmetrize]\n\
+                     \u{20}             [--tolerance F] [--timeout-ms N] [--timeout-checks N]\n\
+                     \u{20}             [--no-quotient] [--directed | --symmetrize]\n\
                      \u{20}             [--seed K] [--threads N] [--largest-component] [--cache]\n\
                      \u{20}             [--compress] [--shards N] [--mmap] [--verify-snapshot]\n\
                      \u{20}             [--json PATH] [--no-time]";
@@ -139,6 +148,10 @@ fn help() -> ! {
          --algo A              cldiam | delta | both | bounds (default both)\n\
          --bounds-budget N     SSSP budget per component for --algo bounds (default 64)\n\
          --tolerance F         stop the bounds engine at ub ≤ F·lb (default 1.0)\n\
+         --timeout-ms N        wall-clock deadline for --algo bounds; an expired run\n\
+         \u{20}                     reports the best-so-far [lb, ub] (interrupted=true)\n\
+         --timeout-checks N    logical deadline: stop after N cancellation checkpoints\n\
+         \u{20}                     per component (deterministic across reruns)\n\
          --no-quotient         disable the quotient oracle inside --algo bounds\n\
          --directed            keep arc directions (text inputs, --algo bounds only)\n\
          --symmetrize          force the default symmetrizing load explicitly\n\
@@ -166,6 +179,8 @@ fn parse_args() -> Options {
         algo: Algo::Both,
         bounds_budget: 64,
         tolerance: 1.0,
+        timeout_ms: None,
+        timeout_checks: None,
         no_quotient: false,
         directed: false,
         symmetrize: false,
@@ -236,6 +251,20 @@ fn parse_args() -> Options {
                 Ok(f) if f.is_finite() && f >= 1.0 => options.tolerance = f,
                 _ => {
                     eprintln!("--tolerance expects a finite number >= 1.0");
+                    usage()
+                }
+            },
+            "--timeout-ms" => match value(&mut args, "--timeout-ms").parse() {
+                Ok(n) => options.timeout_ms = Some(n),
+                Err(_) => {
+                    eprintln!("--timeout-ms expects an unsigned integer (milliseconds)");
+                    usage()
+                }
+            },
+            "--timeout-checks" => match value(&mut args, "--timeout-checks").parse() {
+                Ok(n) if n >= 1 => options.timeout_checks = Some(n),
+                _ => {
+                    eprintln!("--timeout-checks expects a positive integer");
                     usage()
                 }
             },
@@ -324,7 +353,32 @@ fn parse_args() -> Options {
         eprintln!("--mmap needs a file input: gen: workloads have nothing to map");
         usage();
     }
+    if options.timeout_ms.is_some() || options.timeout_checks.is_some() {
+        match options.algo {
+            Algo::Bounds => {}
+            // As with --directed, the default `both` narrows silently:
+            // bounds is the only anytime (interruptible) algorithm.
+            Algo::Both => options.algo = Algo::Bounds,
+            Algo::Cldiam | Algo::Delta => {
+                eprintln!("--timeout-ms / --timeout-checks support --algo bounds only");
+                usage();
+            }
+        }
+    }
     options
+}
+
+/// Builds the cooperative cancellation token from the timeout flags. The
+/// wall deadline starts ticking here, so call this right before the run.
+fn cancel_token(options: &Options) -> CancelToken {
+    match (options.timeout_ms, options.timeout_checks) {
+        (None, None) => CancelToken::never(),
+        (Some(ms), None) => CancelToken::with_deadline(Duration::from_millis(ms)),
+        (None, Some(k)) => CancelToken::with_check_limit(k),
+        (Some(ms), Some(k)) => {
+            CancelToken::with_check_limit(k).and_deadline(Duration::from_millis(ms))
+        }
+    }
 }
 
 /// Wraps a dense graph in the tier the flags selected.
@@ -485,7 +539,7 @@ fn run_undirected<G: NeighborSource>(graph: &G, options: &Options) -> Vec<RunRes
     } else {
         let cluster = if options.no_quotient { None } else { Some(config.clone()) };
         let anytime = AnytimeConfig { bounds: bounds_config, cluster };
-        let result = run_bounds(graph, &anytime, &split);
+        let result = run_bounds_cancel(graph, &anytime, &split, &cancel_token(options));
         print_bounds_progress(&result);
         results.push(result);
     }
@@ -537,7 +591,7 @@ fn run(options: &Options) {
                 .with_max_sssp(options.bounds_budget)
                 .with_tolerance(options.tolerance);
             let anytime = AnytimeConfig { bounds: bounds_config, cluster: None };
-            let result = run_bounds_directed(graph, &anytime);
+            let result = run_bounds_directed_cancel(graph, &anytime, &cancel_token(options));
             print_bounds_progress(&result);
             vec![result]
         }

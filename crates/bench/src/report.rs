@@ -120,6 +120,8 @@ mod tests {
                     rounds: 42,
                     work: 100_000,
                     detail: String::new(),
+                    converged: None,
+                    interrupted: None,
                     iterations: None,
                 },
                 RunResult {
@@ -131,6 +133,8 @@ mod tests {
                     rounds: 900,
                     work: 2_000_000,
                     detail: String::new(),
+                    converged: None,
+                    interrupted: None,
                     iterations: None,
                 },
             ],

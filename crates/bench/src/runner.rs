@@ -4,8 +4,10 @@
 use std::time::Instant;
 
 use cldiam_core::approximate_diameter;
-use cldiam_core::{anytime_diameter, anytime_diameter_with_split, AnytimeConfig, ClusterConfig};
-use cldiam_graph::{Dist, Graph, NeighborSource, NodeId, INFINITY};
+use cldiam_core::{
+    anytime_diameter_cancel, anytime_diameter_with_split_cancel, AnytimeConfig, ClusterConfig,
+};
+use cldiam_graph::{CancelToken, Dist, Graph, NeighborSource, NodeId, INFINITY};
 use cldiam_mr::CostTracker;
 use cldiam_sssp::{
     delta_stepping_with_scratch, diameter_lower_bound, diameter_lower_bound_with_split,
@@ -34,6 +36,11 @@ pub struct RunResult {
     pub work: u64,
     /// Extra detail (τ, Δ, cluster counts) for the JSON output.
     pub detail: String,
+    /// Whether the run converged (the bounds engine only; `None` elsewhere).
+    pub converged: Option<bool>,
+    /// Whether a deadline/cancellation stopped the run early (the bounds
+    /// engine only; `None` elsewhere).
+    pub interrupted: Option<bool>,
     /// Per-iteration trace (the bounds engine only; `None` elsewhere).
     pub iterations: Option<Value>,
 }
@@ -55,8 +62,16 @@ impl RunResult {
             ("work", self.work.into()),
             ("detail", self.detail.as_str().into()),
         ]);
-        if let (Value::Object(members), Some(iterations)) = (&mut value, &self.iterations) {
-            members.push(("iterations".to_string(), iterations.clone()));
+        if let Value::Object(members) = &mut value {
+            if let Some(converged) = self.converged {
+                members.push(("converged".to_string(), converged.into()));
+            }
+            if let Some(interrupted) = self.interrupted {
+                members.push(("interrupted".to_string(), interrupted.into()));
+            }
+            if let Some(iterations) = &self.iterations {
+                members.push(("iterations".to_string(), iterations.clone()));
+            }
         }
         value
     }
@@ -110,16 +125,38 @@ pub fn run_bounds<G: NeighborSource>(
     config: &AnytimeConfig,
     split: &ComponentSplit,
 ) -> RunResult {
+    run_bounds_cancel(graph, config, split, &CancelToken::never())
+}
+
+/// [`run_bounds`] under a cooperative [`CancelToken`] (`--timeout-ms` /
+/// `--timeout-checks`): an expired deadline stops the engine at the next
+/// SSSP boundary and the result reports the best-so-far `[lb, ub]` bracket
+/// with `interrupted=true`.
+pub fn run_bounds_cancel<G: NeighborSource>(
+    graph: &G,
+    config: &AnytimeConfig,
+    split: &ComponentSplit,
+    cancel: &CancelToken,
+) -> RunResult {
     let started = Instant::now();
-    let outcome = anytime_diameter_with_split(graph, config, split);
+    let outcome = anytime_diameter_with_split_cancel(graph, config, split, cancel);
     bounds_result(config, outcome, started.elapsed().as_secs_f64())
 }
 
 /// Runs the anytime bounds engine on a directed graph, which goes whole
 /// through the forward/backward engine (dense only: it needs in-arcs).
 pub fn run_bounds_directed(graph: &Graph, config: &AnytimeConfig) -> RunResult {
+    run_bounds_directed_cancel(graph, config, &CancelToken::never())
+}
+
+/// [`run_bounds_directed`] under a cooperative [`CancelToken`].
+pub fn run_bounds_directed_cancel(
+    graph: &Graph,
+    config: &AnytimeConfig,
+    cancel: &CancelToken,
+) -> RunResult {
     let started = Instant::now();
-    let outcome = anytime_diameter(graph, config);
+    let outcome = anytime_diameter_cancel(graph, config, cancel);
     bounds_result(config, outcome, started.elapsed().as_secs_f64())
 }
 
@@ -144,13 +181,16 @@ fn bounds_result(config: &AnytimeConfig, outcome: BoundsOutcome, time_s: f64) ->
         rounds: outcome.sssp_runs as u64,
         work: 0,
         detail: format!(
-            "budget={} tolerance={} oracle={} converged={} sssp={}",
+            "budget={} tolerance={} oracle={} converged={} interrupted={} sssp={}",
             config.bounds.max_sssp,
             config.bounds.tolerance,
             if config.cluster.is_some() { "quotient" } else { "off" },
             outcome.converged,
+            outcome.interrupted,
             outcome.sssp_runs
         ),
+        converged: Some(outcome.converged),
+        interrupted: Some(outcome.interrupted),
         iterations: Some(iterations_to_value(&outcome)),
     }
 }
@@ -181,6 +221,8 @@ pub fn run_cldiam_with<G: NeighborSource>(
             estimate.radius,
             estimate.growing_steps
         ),
+        converged: None,
+        interrupted: None,
         iterations: None,
     }
 }
@@ -235,6 +277,8 @@ pub fn run_delta_stepping_scratch<G: NeighborSource>(
         rounds: outcome.phases,
         work: outcome.work(),
         detail: format!("delta={delta} source={source}"),
+        converged: None,
+        interrupted: None,
         iterations: None,
     }
 }

@@ -7,25 +7,36 @@
 //! and one clustering pass cooperate on the same shrinking interval instead
 //! of running as two unrelated fixed-budget pipelines.
 
-use cldiam_graph::{Dist, Graph, NeighborSource};
+use cldiam_graph::{CancelToken, Dist, Graph, NeighborSource, INFINITY};
 use cldiam_sssp::{
-    bounds_diameter_with_split, BoundsConfig, BoundsOutcome, ComponentSplit, DiameterOracle,
-    NO_ORACLE,
+    bounds_diameter_cancel, bounds_diameter_with_split_cancel, BoundsConfig, BoundsOutcome,
+    ComponentSplit, DiameterOracle, NO_ORACLE,
 };
 
 use crate::config::ClusterConfig;
-use crate::diameter::approximate_diameter;
+use crate::diameter::approximate_diameter_cancel;
 
 /// The CL-DIAM quotient upper bound as a [`DiameterOracle`]: a full
 /// clustering + quotient pipeline run on whichever (component) graph the
 /// bounds engine hands it, dense or compressed.
+///
+/// The oracle carries its own [`CancelToken`]: once the shared flag is set
+/// (wall deadline or explicit [`CancelToken::cancel`]) it declines to start
+/// a clustering pass and reports `INFINITY`, which the engine treats as
+/// "no improvement" — `apply_cap(INFINITY)` is a no-op. A per-clone check
+/// budget never sets the shared flag, so under a pure logical-cadence
+/// budget the oracle still runs to completion and stays deterministic.
 struct QuotientOracle<'a> {
     config: &'a ClusterConfig,
+    cancel: &'a CancelToken,
 }
 
 impl DiameterOracle for QuotientOracle<'_> {
     fn diameter_upper_bound<G: NeighborSource>(&self, graph: &G) -> Dist {
-        approximate_diameter(graph, self.config).upper_bound
+        if self.cancel.is_cancelled() {
+            return INFINITY;
+        }
+        approximate_diameter_cancel(graph, self.config, &self.cancel.child()).upper_bound
     }
 }
 
@@ -67,12 +78,26 @@ pub fn anytime_diameter_with_split<G: NeighborSource>(
     config: &AnytimeConfig,
     split: &ComponentSplit,
 ) -> BoundsOutcome {
+    anytime_diameter_with_split_cancel(graph, config, split, &CancelToken::never())
+}
+
+/// [`anytime_diameter_with_split`] with a cooperative [`CancelToken`]. The
+/// engine polls the token at SSSP boundaries and the quotient oracle both
+/// declines to start and polls at decomposition boundaries once the shared
+/// flag is set, so an interrupted run still returns a valid best-so-far
+/// `[lb, ub]` bracket (marked `interrupted`, never `converged`).
+pub fn anytime_diameter_with_split_cancel<G: NeighborSource>(
+    graph: &G,
+    config: &AnytimeConfig,
+    split: &ComponentSplit,
+    cancel: &CancelToken,
+) -> BoundsOutcome {
     match &config.cluster {
         Some(c) => {
-            let oracle = QuotientOracle { config: c };
-            bounds_diameter_with_split(graph, &config.bounds, Some(&oracle), split)
+            let oracle = QuotientOracle { config: c, cancel };
+            bounds_diameter_with_split_cancel(graph, &config.bounds, Some(&oracle), split, cancel)
         }
-        None => bounds_diameter_with_split(graph, &config.bounds, NO_ORACLE, split),
+        None => bounds_diameter_with_split_cancel(graph, &config.bounds, NO_ORACLE, split, cancel),
     }
 }
 
@@ -81,12 +106,22 @@ pub fn anytime_diameter_with_split<G: NeighborSource>(
 /// engine (where the quotient oracle — whose clustering is undirected-only —
 /// is never consulted).
 pub fn anytime_diameter(graph: &Graph, config: &AnytimeConfig) -> BoundsOutcome {
+    anytime_diameter_cancel(graph, config, &CancelToken::never())
+}
+
+/// [`anytime_diameter`] with a cooperative [`CancelToken`] (see
+/// [`anytime_diameter_with_split_cancel`]).
+pub fn anytime_diameter_cancel(
+    graph: &Graph,
+    config: &AnytimeConfig,
+    cancel: &CancelToken,
+) -> BoundsOutcome {
     if graph.is_directed() {
         // CL-DIAM clustering is undirected; the directed engine runs without
         // the oracle regardless of configuration.
-        return cldiam_sssp::bounds_diameter(graph, &config.bounds, NO_ORACLE);
+        return bounds_diameter_cancel(graph, &config.bounds, NO_ORACLE, cancel);
     }
-    anytime_diameter_with_split(graph, config, &ComponentSplit::compute(graph))
+    anytime_diameter_with_split_cancel(graph, config, &ComponentSplit::compute(graph), cancel)
 }
 
 #[cfg(test)]
@@ -138,5 +173,39 @@ mod tests {
         let config = AnytimeConfig::default();
         let raw = cldiam_sssp::bounds_diameter(&g, &config.bounds, NO_ORACLE);
         assert_eq!(anytime_diameter(&g, &config), raw);
+    }
+
+    #[test]
+    fn cancelled_anytime_run_reports_best_so_far_bracket() {
+        let g = mesh(10, WeightModel::UniformUnit, 5);
+        let exact = exact_diameter(&g);
+        let config = AnytimeConfig::default()
+            .with_bounds(BoundsConfig::default().with_quotient_after(2))
+            .with_cluster(ClusterConfig::default().with_tau(4).with_seed(7));
+        let token = CancelToken::never();
+        token.cancel();
+        let outcome = anytime_diameter_cancel(&g, &config, &token);
+        assert!(outcome.interrupted);
+        assert!(!outcome.converged);
+        // The admitted first SSSP keeps the bracket non-trivial even when
+        // the token was cancelled before the run started.
+        assert!(outcome.lower > 0);
+        assert!(outcome.lower <= exact && exact <= outcome.upper);
+    }
+
+    #[test]
+    fn check_limited_anytime_run_is_deterministic_and_sound() {
+        let g = mesh(12, WeightModel::UniformUnit, 2);
+        let exact = exact_diameter(&g);
+        let config = AnytimeConfig::default()
+            .with_bounds(BoundsConfig::default().with_max_sssp(100).with_quotient_after(2))
+            .with_cluster(ClusterConfig::default().with_tau(4).with_seed(3));
+        let run =
+            |limit| anytime_diameter_cancel(&g, &config, &CancelToken::with_check_limit(limit));
+        let first = run(3);
+        assert!(first.lower <= exact && exact <= first.upper);
+        for _ in 0..4 {
+            assert_eq!(run(3), first, "check-limited anytime run not deterministic");
+        }
     }
 }

@@ -19,11 +19,11 @@ use cldiam_mr::CostTracker;
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
-use cldiam_graph::{Dist, NeighborSource, NodeId};
+use cldiam_graph::{CancelToken, Dist, NeighborSource, NodeId};
 
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
-use crate::growing::{partial_growth, GrowScratch};
+use crate::growing::{partial_growth_cancel, GrowScratch};
 use crate::state::GrowState;
 
 /// The paper's constant `γ = 4 ln 2` used in the center-selection probability.
@@ -36,9 +36,23 @@ pub const GAMMA: f64 = 2.772_588_722_239_781;
 /// end up as singleton clusters, matching the paper's convention of treating
 /// components independently).
 pub fn cluster<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Clustering {
+    cluster_cancel(graph, config, &CancelToken::never())
+}
+
+/// [`cluster`] with a cooperative [`CancelToken`], polled at stage and
+/// Δ-growing wave boundaries. A cancelled run degrades gracefully: whatever
+/// the completed stages covered keeps its clusters, every still-uncovered
+/// node becomes a singleton, and the result is always a *valid* clustering
+/// (per-node distances remain genuine upper bounds), just coarser than an
+/// uninterrupted run's.
+pub fn cluster_cancel<G: NeighborSource>(
+    graph: &G,
+    config: &ClusterConfig,
+    cancel: &CancelToken,
+) -> Clustering {
     let tracker = CostTracker::new();
     let mut scratch = GrowScratch::with_capacity(graph.num_nodes());
-    let state = cluster_state(graph, config, &tracker, &mut scratch);
+    let state = cluster_state(graph, config, &tracker, &mut scratch, cancel);
     finalize(graph, state, &tracker)
 }
 
@@ -51,6 +65,7 @@ pub(crate) fn cluster_state<G: NeighborSource>(
     config: &ClusterConfig,
     tracker: &CostTracker,
     scratch: &mut GrowScratch,
+    cancel: &CancelToken,
 ) -> ClusterRun {
     let n = graph.num_nodes();
     let mut run = ClusterRun {
@@ -70,6 +85,12 @@ pub(crate) fn cluster_state<G: NeighborSource>(
     let mut rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
 
     loop {
+        // Stage boundary: a cancelled run keeps the stages already frozen
+        // and falls through to the singleton fallback below, which is a
+        // valid (coarse) clustering of whatever remains.
+        if cancel.checkpoint() {
+            break;
+        }
         let uncovered = run.state.uncovered_nodes();
         if uncovered.is_empty() || uncovered.len() < stop_threshold {
             break;
@@ -108,7 +129,7 @@ pub(crate) fn cluster_state<G: NeighborSource>(
         // within distance Δ, doubling Δ whenever the goal cannot be met.
         let target = uncovered.len().div_ceil(2);
         loop {
-            let outcome = partial_growth(
+            let outcome = partial_growth_cancel(
                 graph,
                 run.delta,
                 run.delta,
@@ -117,9 +138,15 @@ pub(crate) fn cluster_state<G: NeighborSource>(
                 config.max_growing_steps_per_phase,
                 Some(tracker),
                 scratch,
+                cancel,
             );
             run.growing_steps += outcome.steps;
             if outcome.reached_unfrozen >= target {
+                break;
+            }
+            // A cancelled growth missed its target on purpose: accept the
+            // partial coverage instead of doubling Δ forever after it.
+            if cancel.is_cancelled() {
                 break;
             }
             if run.delta >= delta_cap {
@@ -322,5 +349,36 @@ mod tests {
         capped.validate(&g).expect("valid clustering");
         // With a cap the algorithm still terminates and covers every node.
         assert_eq!(capped.assignment.len(), g.num_nodes());
+    }
+
+    #[test]
+    fn cancelled_cluster_is_still_a_valid_clustering() {
+        // A pre-cancelled token degrades to all-singletons; a tight check
+        // budget stops somewhere in the middle. Both must validate and keep
+        // recorded distances as genuine upper bounds.
+        let g = mesh(14, WeightModel::UniformUnit, 3);
+        let pre = CancelToken::never();
+        pre.cancel();
+        let degenerate = cluster_cancel(&g, &default_config(2, 5), &pre);
+        degenerate.validate(&g).expect("valid clustering");
+        assert_eq!(degenerate.num_clusters(), g.num_nodes());
+        assert_eq!(degenerate.radius, 0);
+
+        let partial = cluster_cancel(&g, &default_config(2, 5), &CancelToken::with_check_limit(4));
+        partial.validate(&g).expect("valid clustering");
+        assert_distances_are_upper_bounds(&g, &partial);
+    }
+
+    #[test]
+    fn check_limit_cancellation_is_deterministic() {
+        let g = mesh(12, WeightModel::UniformUnit, 8);
+        let first = cluster_cancel(&g, &default_config(2, 2), &CancelToken::with_check_limit(5));
+        for _ in 0..4 {
+            let again =
+                cluster_cancel(&g, &default_config(2, 2), &CancelToken::with_check_limit(5));
+            assert_eq!(first.assignment, again.assignment);
+            assert_eq!(first.dist, again.dist);
+            assert_eq!(first.radius, again.radius);
+        }
     }
 }

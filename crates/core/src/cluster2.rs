@@ -28,12 +28,12 @@ use cldiam_mr::CostTracker;
 use rand::{Rng, SeedableRng};
 use rand_xoshiro::Xoshiro256PlusPlus;
 
-use cldiam_graph::{Dist, NeighborSource, NodeId};
+use cldiam_graph::{CancelToken, Dist, NeighborSource, NodeId};
 
 use crate::cluster::{cluster_state, finalize, ClusterRun};
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
-use crate::growing::{partial_growth2, GrowScratch};
+use crate::growing::{partial_growth2_cancel, GrowScratch};
 use crate::state::GrowState;
 
 /// Runs `CLUSTER2(G, τ)` and returns the resulting clustering.
@@ -41,6 +41,19 @@ use crate::state::GrowState;
 /// The preliminary `CLUSTER` call (used only for its radius estimate) runs
 /// with the same configuration; its cost is included in the returned metrics.
 pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Clustering {
+    cluster2_cancel(graph, config, &CancelToken::never())
+}
+
+/// [`cluster2`] with a cooperative [`CancelToken`], polled at iteration and
+/// Δ-growing wave boundaries (the preliminary `CLUSTER` run shares the same
+/// token). Cancellation degrades gracefully exactly as in
+/// [`crate::cluster::cluster_cancel`]: completed iterations keep their
+/// clusters and the rest become singletons, which is always valid.
+pub fn cluster2_cancel<G: NeighborSource>(
+    graph: &G,
+    config: &ClusterConfig,
+    cancel: &CancelToken,
+) -> Clustering {
     let n = graph.num_nodes();
     let tracker = CostTracker::new();
     if n == 0 {
@@ -57,7 +70,7 @@ pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Cluster
     // Step 1: learn R_CL(τ) from a CLUSTER run.
     let preliminary = {
         let pre_tracker = CostTracker::new();
-        let run = cluster_state(graph, config, &pre_tracker, &mut scratch);
+        let run = cluster_state(graph, config, &pre_tracker, &mut scratch, cancel);
         finalize(graph, run, &pre_tracker)
     };
     let r_cl = preliminary.radius.max(1);
@@ -75,6 +88,11 @@ pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Cluster
     let mut growing_steps = 0u64;
 
     for i in 1..=iterations {
+        // Iteration boundary: stop here and let the singleton fallback
+        // below cover whatever the completed iterations did not.
+        if cancel.checkpoint() {
+            break;
+        }
         let uncovered = state.uncovered_nodes();
         if uncovered.is_empty() {
             break;
@@ -106,7 +124,7 @@ pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Cluster
         tracker.add_messages(uncovered.len() as u64);
 
         // PartialGrowth2: grow until no state is updated.
-        let outcome = partial_growth2(
+        let outcome = partial_growth2_cancel(
             graph,
             threshold,
             threshold,
@@ -114,6 +132,7 @@ pub fn cluster2<G: NeighborSource>(graph: &G, config: &ClusterConfig) -> Cluster
             config.max_growing_steps_per_phase,
             Some(&tracker),
             &mut scratch,
+            cancel,
         );
         growing_steps += outcome.steps;
 
@@ -219,5 +238,21 @@ mod tests {
         let one = cluster2(&cldiam_graph::Graph::empty(1), &config(1, 1));
         assert_eq!(one.num_clusters(), 1);
         assert_eq!(one.assignment, vec![0]);
+    }
+
+    #[test]
+    fn cancelled_cluster2_is_still_a_valid_clustering() {
+        let g = mesh(12, WeightModel::UniformUnit, 6);
+        let pre = CancelToken::never();
+        pre.cancel();
+        let degenerate = cluster2_cancel(&g, &config(2, 4), &pre);
+        degenerate.validate(&g).expect("valid clustering");
+        assert_eq!(degenerate.num_clusters(), g.num_nodes());
+
+        let partial = cluster2_cancel(&g, &config(2, 4), &CancelToken::with_check_limit(6));
+        partial.validate(&g).expect("valid clustering");
+        let again = cluster2_cancel(&g, &config(2, 4), &CancelToken::with_check_limit(6));
+        assert_eq!(partial.assignment, again.assignment);
+        assert_eq!(partial.dist, again.dist);
     }
 }

@@ -7,12 +7,12 @@
 //! diameter whenever the per-node distances are genuine upper bounds — which
 //! they are by construction in this implementation.
 
-use cldiam_graph::{Dist, NeighborSource};
+use cldiam_graph::{CancelToken, Dist, NeighborSource};
 use cldiam_mr::CostMetrics;
 use cldiam_sssp::{diameter_lower_bound, exact_diameter};
 
-use crate::cluster::cluster;
-use crate::cluster2::cluster2;
+use crate::cluster::cluster_cancel;
+use crate::cluster2::cluster2_cancel;
 use crate::clustering::Clustering;
 use crate::config::ClusterConfig;
 use crate::quotient::{quotient_graph, QuotientGraph};
@@ -75,17 +75,43 @@ impl ClDiam {
 
     /// Runs the graph decomposition stage only.
     pub fn decompose<G: NeighborSource>(&self, graph: &G) -> Clustering {
+        self.decompose_cancel(graph, &CancelToken::never())
+    }
+
+    /// [`ClDiam::decompose`] with a cooperative [`CancelToken`]. A cancelled
+    /// decomposition is still a valid clustering — completed stages keep
+    /// their clusters, the rest become singletons — so every downstream
+    /// stage (quotient, diameter bound) stays sound, merely coarser.
+    pub fn decompose_cancel<G: NeighborSource>(
+        &self,
+        graph: &G,
+        cancel: &CancelToken,
+    ) -> Clustering {
         if self.config.use_cluster2 {
-            cluster2(graph, &self.config)
+            cluster2_cancel(graph, &self.config, cancel)
         } else {
-            cluster(graph, &self.config)
+            cluster_cancel(graph, &self.config, cancel)
         }
     }
 
     /// Runs the full pipeline: decomposition, quotient construction and
     /// quotient-diameter computation.
     pub fn run<G: NeighborSource>(&self, graph: &G) -> DiameterEstimate {
-        let clustering = self.decompose(graph);
+        self.run_cancel(graph, &CancelToken::never())
+    }
+
+    /// [`ClDiam::run`] with a cooperative [`CancelToken`]. Only the
+    /// decomposition polls the token; the quotient stage always completes
+    /// (it is cheap relative to the decomposition and the estimate would be
+    /// useless without it), so the returned `upper_bound` is exactly as
+    /// sound as an uninterrupted run's — a degraded clustering just makes
+    /// it looser.
+    pub fn run_cancel<G: NeighborSource>(
+        &self,
+        graph: &G,
+        cancel: &CancelToken,
+    ) -> DiameterEstimate {
+        let clustering = self.decompose_cancel(graph, cancel);
         self.estimate_from_clustering(graph, &clustering)
     }
 
@@ -143,6 +169,16 @@ pub fn approximate_diameter<G: NeighborSource>(
     config: &ClusterConfig,
 ) -> DiameterEstimate {
     ClDiam::new(config.clone()).run(graph)
+}
+
+/// [`approximate_diameter`] with a cooperative [`CancelToken`] (see
+/// [`ClDiam::run_cancel`]).
+pub fn approximate_diameter_cancel<G: NeighborSource>(
+    graph: &G,
+    config: &ClusterConfig,
+    cancel: &CancelToken,
+) -> DiameterEstimate {
+    ClDiam::new(config.clone()).run_cancel(graph, cancel)
 }
 
 #[cfg(test)]
@@ -259,6 +295,33 @@ mod tests {
             loose.upper_bound,
             tight.upper_bound
         );
+    }
+
+    #[test]
+    fn cancelled_run_still_upper_bounds_the_diameter() {
+        // A degraded decomposition only coarsens the clustering; the
+        // quotient estimate must still bracket the exact diameter, all the
+        // way down to the all-singletons case (quotient == graph).
+        let g = mesh(10, WeightModel::UniformUnit, 4);
+        let exact = exact_diameter(&g);
+        for limit in [1, 3, 8] {
+            let estimate = approximate_diameter_cancel(
+                &g,
+                &config(2, 6),
+                &CancelToken::with_check_limit(limit),
+            );
+            assert!(
+                estimate.upper_bound >= exact,
+                "limit {limit}: estimate {} below true diameter {exact}",
+                estimate.upper_bound
+            );
+            let again = approximate_diameter_cancel(
+                &g,
+                &config(2, 6),
+                &CancelToken::with_check_limit(limit),
+            );
+            assert_eq!(estimate, again, "limit {limit}: cancelled run not deterministic");
+        }
     }
 
     #[test]

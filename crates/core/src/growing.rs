@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, NeighborSource, NodeId};
+use cldiam_graph::{CancelToken, Dist, NeighborSource, NodeId};
 
 use crate::atomic_state::{AtomicGrowCells, Proposed};
 use crate::state::{eff_below_threshold, eff_within_threshold, GrowState, NO_CENTER};
@@ -333,6 +333,37 @@ pub fn partial_growth<G: NeighborSource>(
     tracker: Option<&CostTracker>,
     scratch: &mut GrowScratch,
 ) -> GrowthOutcome {
+    partial_growth_cancel(
+        graph,
+        threshold,
+        light_limit,
+        state,
+        stop_at_reached,
+        max_steps,
+        tracker,
+        scratch,
+        &CancelToken::never(),
+    )
+}
+
+/// [`partial_growth`] with a cooperative [`CancelToken`], polled once per
+/// Δ-growing wave. Stopping between waves leaves a *consistent partial
+/// growth*: every applied relaxation is a genuine improvement, distances
+/// remain upper bounds on the true center distances, and nodes the growth
+/// never reached stay uncovered — the callers' singleton fallback turns
+/// that into a valid (if coarse) clustering.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list plus scratch and token
+pub fn partial_growth_cancel<G: NeighborSource>(
+    graph: &G,
+    threshold: Dist,
+    light_limit: Dist,
+    state: &mut GrowState,
+    stop_at_reached: Option<usize>,
+    max_steps: Option<usize>,
+    tracker: Option<&CostTracker>,
+    scratch: &mut GrowScratch,
+    cancel: &CancelToken,
+) -> GrowthOutcome {
     let mut outcome = GrowthOutcome::default();
 
     // Unfrozen nodes already reached (eff ≤ threshold ⇒ reached); kept
@@ -358,6 +389,10 @@ pub fn partial_growth<G: NeighborSource>(
 
     loop {
         if max_steps.is_some_and(|cap| outcome.steps as usize >= cap) {
+            break;
+        }
+        // Wave boundary: every relaxation of the previous wave is committed.
+        if cancel.checkpoint() {
             break;
         }
         let (stats, newly_reached) = scratch.wave(graph, threshold, light_limit);
@@ -396,6 +431,32 @@ pub fn partial_growth2<G: NeighborSource>(
     scratch: &mut GrowScratch,
 ) -> GrowthOutcome {
     partial_growth(graph, threshold, light_limit, state, None, max_steps, tracker, scratch)
+}
+
+/// [`partial_growth2`] with a cooperative [`CancelToken`] (see
+/// [`partial_growth_cancel`] for the consistency contract).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list plus scratch and token
+pub fn partial_growth2_cancel<G: NeighborSource>(
+    graph: &G,
+    threshold: Dist,
+    light_limit: Dist,
+    state: &mut GrowState,
+    max_steps: Option<usize>,
+    tracker: Option<&CostTracker>,
+    scratch: &mut GrowScratch,
+    cancel: &CancelToken,
+) -> GrowthOutcome {
+    partial_growth_cancel(
+        graph,
+        threshold,
+        light_limit,
+        state,
+        None,
+        max_steps,
+        tracker,
+        scratch,
+        cancel,
+    )
 }
 
 #[cfg(test)]

@@ -55,15 +55,18 @@ pub mod mr_impl;
 pub mod quotient;
 pub mod state;
 
-pub use bounds::{anytime_diameter, anytime_diameter_with_split, AnytimeConfig};
-pub use cluster::cluster;
-pub use cluster2::cluster2;
+pub use bounds::{
+    anytime_diameter, anytime_diameter_cancel, anytime_diameter_with_split,
+    anytime_diameter_with_split_cancel, AnytimeConfig,
+};
+pub use cluster::{cluster, cluster_cancel};
+pub use cluster2::{cluster2, cluster2_cancel};
 pub use clustering::Clustering;
 pub use config::{ClusterConfig, InitialDelta};
-pub use diameter::{approximate_diameter, ClDiam, DiameterEstimate};
+pub use diameter::{approximate_diameter, approximate_diameter_cancel, ClDiam, DiameterEstimate};
 pub use growing::{
     delta_growing_step, delta_growing_step_materialized, partial_growth, partial_growth2,
-    GrowScratch, GrowthOutcome, StepStats,
+    partial_growth2_cancel, partial_growth_cancel, GrowScratch, GrowthOutcome, StepStats,
 };
 pub use quotient::{quotient_graph, QuotientGraph};
 pub use state::{eff_below_threshold, eff_within_threshold, GrowState, EFF_INFINITY, NO_CENTER};

@@ -28,7 +28,7 @@ use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::csr::Graph;
-use crate::io::IoError;
+use crate::io::{le_u32, le_u64, IoError};
 use crate::weight::{NodeId, Weight};
 
 /// Leading magic bytes of a snapshot file.
@@ -122,7 +122,7 @@ impl<'a> Cursor<'a> {
 
     fn take_u64(&mut self, what: &str) -> Result<u64, IoError> {
         let bytes = self.take(8, what)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+        Ok(le_u64(bytes))
     }
 
     fn take_section(&mut self, expected_len: usize, what: &str) -> Result<&'a [u8], IoError> {
@@ -149,14 +149,14 @@ pub fn parse_binary(bytes: &[u8]) -> Result<Graph, IoError> {
     if &header[..4] != MAGIC {
         return Err(IoError::Format("not a cldiam binary snapshot (bad magic)".to_string()));
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+    let version = le_u32(&header[4..8]);
     if version != FORMAT_VERSION {
         return Err(IoError::Format(format!(
             "unsupported snapshot version {version} (this build reads {FORMAT_VERSION})"
         )));
     }
-    let num_nodes = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
-    let num_arcs = u64::from_le_bytes(header[16..24].try_into().expect("8-byte slice"));
+    let num_nodes = le_u64(&header[8..16]);
+    let num_arcs = le_u64(&header[16..24]);
     let hdr_sum = cur.take_u64("header checksum")?;
     if fnv1a(header) != hdr_sum {
         return Err(IoError::Format("header checksum mismatch".to_string()));
@@ -200,7 +200,7 @@ pub(crate) fn decode_validated_dense(
     let num_arcs = arcs as u64;
     let mut offsets = Vec::with_capacity(n + 1);
     for chunk in offsets_raw.chunks_exact(8) {
-        let o = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        let o = le_u64(chunk);
         if o > num_arcs {
             return Err(IoError::Format(format!("offset {o} exceeds the arc count {num_arcs}")));
         }
@@ -215,14 +215,8 @@ pub(crate) fn decode_validated_dense(
         return Err(IoError::Format("offsets do not span the arc array".to_string()));
     }
 
-    let targets: Vec<NodeId> = targets_raw
-        .chunks_exact(4)
-        .map(|c| NodeId::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect();
-    let weights: Vec<Weight> = weights_raw
-        .chunks_exact(4)
-        .map(|c| Weight::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect();
+    let targets: Vec<NodeId> = targets_raw.chunks_exact(4).map(le_u32).collect();
+    let weights: Vec<Weight> = weights_raw.chunks_exact(4).map(le_u32).collect();
     for (u, window) in offsets.windows(2).enumerate() {
         let mut prev: Option<NodeId> = None;
         for i in window[0]..window[1] {
@@ -272,9 +266,11 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Graph, IoError> {
     parse_binary(&bytes)
 }
 
-/// Reads a snapshot from a file path.
+/// Reads a snapshot from a file path (through the `snapshot::read`
+/// failpoint seam, with transient-error retry).
 pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
-    read_binary(std::fs::File::open(path)?)
+    let bytes = crate::io::read_file_bytes(path.as_ref(), "snapshot::read")?;
+    parse_binary(&bytes)
 }
 
 #[cfg(test)]

@@ -209,9 +209,11 @@ pub fn read_dimacs<R: Read>(mut reader: R) -> Result<Graph, IoError> {
     parse_dimacs_bytes(&bytes)
 }
 
-/// Reads a DIMACS document from a file path.
+/// Reads a DIMACS document from a file path (through the `io::read`
+/// failpoint seam, with transient-error retry).
 pub fn read_dimacs_file<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
-    read_dimacs(std::fs::File::open(path)?)
+    let bytes = crate::io::read_file_bytes(path.as_ref(), "io::read")?;
+    parse_dimacs_bytes(&bytes)
 }
 
 /// Writes the graph in DIMACS `.gr` form (both directions of every

@@ -94,9 +94,11 @@ pub fn read_edge_list<R: Read>(mut reader: R) -> Result<Graph, IoError> {
     parse_edge_list_bytes(&bytes)
 }
 
-/// Reads an edge list from a file path.
+/// Reads an edge list from a file path (through the `io::read` failpoint
+/// seam, with transient-error retry).
 pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
-    read_edge_list(std::fs::File::open(path)?)
+    let bytes = crate::io::read_file_bytes(path.as_ref(), "io::read")?;
+    parse_edge_list_bytes(&bytes)
 }
 
 /// Writes the graph as a weighted edge list (`u v w`, one undirected edge per

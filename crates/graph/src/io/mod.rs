@@ -30,14 +30,110 @@ pub mod edgelist;
 pub mod snapshot;
 pub mod varint;
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
 use rayon::prelude::*;
 
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
+use crate::failpoint::{self, WriteFault};
 use crate::weight::{NodeId, Weight};
+
+/// Infallible little-endian decodes for length-checked slices. Every
+/// hostile-input decode path goes through these (or `from_le_bytes` on a
+/// literal array) rather than `try_into().expect(...)`, so the parsers
+/// contain no panicking conversions at all — disk faults and corruption
+/// surface as [`IoError`], never as a panic.
+#[inline]
+pub(crate) fn le_u32(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+/// See [`le_u32`].
+#[inline]
+pub(crate) fn le_u64(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes([
+        bytes[0], bytes[1], bytes[2], bytes[3], bytes[4], bytes[5], bytes[6], bytes[7],
+    ])
+}
+
+/// Retries `op` over transient I/O errors (`Interrupted`, `WouldBlock`)
+/// with a short bounded backoff; any other error — and the fourth
+/// transient one in a row — is returned to the caller.
+pub(crate) fn with_io_retry<T>(mut op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+    let mut backoff_ms = 1u64;
+    for _ in 0..3 {
+        match op() {
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::Interrupted | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                backoff_ms *= 4;
+            }
+            other => return other,
+        }
+    }
+    op()
+}
+
+/// Reads a whole file through the failpoint seam `site`, retrying
+/// transient errors. Every buffered load in this module funnels through
+/// here, so chaos tests can inject truncation, bit flips, `EIO` and
+/// delays at one place.
+pub(crate) fn read_file_bytes(path: &Path, site: &str) -> std::io::Result<Vec<u8>> {
+    with_io_retry(|| {
+        failpoint::inject(site)?;
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        failpoint::mutate_buffer(site, &mut bytes)?;
+        Ok(bytes)
+    })
+}
+
+/// Persists `bytes` crash-safely: write to a same-directory temp file,
+/// fsync, then atomically rename over `path`. A reader never observes a
+/// half-written file — it sees either the old contents or the new ones.
+/// On error the temp file is removed (best-effort) and `path` is
+/// untouched. The `cache::write` failpoint can simulate `ENOSPC`, partial
+/// writes, torn renames and silent bit rot.
+pub(crate) fn write_bytes_atomic(bytes: &[u8], path: &Path) -> std::io::Result<()> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let write_tmp = || -> std::io::Result<()> {
+        let mut file = std::fs::File::create(&tmp)?;
+        match failpoint::on_write("cache::write", bytes) {
+            WriteFault::None => file.write_all(bytes)?,
+            WriteFault::Err(e) => return Err(e),
+            WriteFault::Partial(n) => {
+                // Disk-full mid-write: some bytes land, then the write
+                // fails. The caller sees the error and `path` is untouched.
+                file.write_all(&bytes[..n])?;
+                file.sync_all().ok();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "failpoint cache::write (partial)",
+                ));
+            }
+            // Crash simulations: a truncated or bit-flipped image reaches
+            // the final path "successfully" — the next load must detect it.
+            WriteFault::Torn(n) => file.write_all(&bytes[..n])?,
+            WriteFault::Corrupt(copy) => file.write_all(&copy)?,
+        }
+        file.sync_all()
+    };
+    match with_io_retry(write_tmp) {
+        Ok(()) => std::fs::rename(&tmp, path),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
+}
 
 /// Errors produced while reading or writing graph files.
 #[derive(Debug)]
@@ -178,8 +274,7 @@ pub(crate) fn graph_from_arcs(
 /// rayon pool.
 pub fn load_graph<P: AsRef<Path>>(path: P) -> Result<Graph, IoError> {
     let path = path.as_ref();
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let bytes = read_file_bytes(path, "io::read")?;
     load_graph_bytes(path, &bytes)
 }
 
@@ -202,8 +297,7 @@ pub fn load_graph_as<P: AsRef<Path>>(
     direction: EdgeDirection,
 ) -> Result<LoadedGraph, IoError> {
     let path = path.as_ref();
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let bytes = read_file_bytes(path, "io::read")?;
     load_graph_bytes_as(path, &bytes, direction)
 }
 
@@ -294,13 +388,36 @@ impl CacheOptions {
 
 /// Best-effort cache write; a failure (read-only dataset directory, disk
 /// full) must never fail a load that already succeeded. Returns whether the
-/// write landed.
+/// write landed. The snapshot is serialized in memory and written
+/// crash-safely (temp file + fsync + atomic rename), so a concurrent or
+/// crashed run never leaves a half-written cache at the final path.
 fn try_write_cache(graph: &snapshot::SnapshotGraph, cache: &Path) -> bool {
     let payload = match graph {
         snapshot::SnapshotGraph::Dense(g) => snapshot::SnapshotPayload::Dense(g),
         snapshot::SnapshotGraph::Compressed(c) => snapshot::SnapshotPayload::Compressed(c),
     };
-    snapshot::write_snapshot_file(&payload, cache).is_ok()
+    let mut bytes = Vec::new();
+    if snapshot::write_snapshot(&payload, &mut bytes).is_err() {
+        return false;
+    }
+    match write_bytes_atomic(&bytes, cache) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("[cldiam] warning: cannot write snapshot cache {cache:?} ({e})");
+            false
+        }
+    }
+}
+
+/// Moves an unreadable cache aside as `<cache>.corrupt` so the bad bytes
+/// stay available for inspection while the path is freed for a clean
+/// regeneration. Returns the quarantine path when the rename landed.
+fn quarantine_cache(cache: &Path) -> Option<PathBuf> {
+    let mut name = cache.as_os_str().to_os_string();
+    name.push(".corrupt");
+    let target = PathBuf::from(name);
+    std::fs::rename(cache, &target).ok()?;
+    Some(target)
 }
 
 /// Loads `path` through its binary snapshot: if a fresh snapshot exists
@@ -335,27 +452,49 @@ pub fn load_graph_cached_with<P: AsRef<Path>>(
         _ => false,
     };
     // A stale, corrupt or future-versioned snapshot falls through to a text
-    // re-parse.
+    // re-parse; corrupt files are additionally quarantined so the bad bytes
+    // never shadow the regenerated cache.
     if fresh {
-        if let Ok(snap) = snapshot::read_snapshot_file(&cache, &options.snapshot_options()) {
-            if snap.version == snapshot::FORMAT_VERSION_2 && options.matches(&snap.graph) {
-                return Ok((snap.graph, true));
-            }
-            // Tier/shard/version mismatch: convert in memory, upgrade the
-            // cache, and (on the mmap path) re-read so the result is
-            // actually served from the new mapping.
-            let converted = options.payload_of(snap.graph.into_dense());
-            if try_write_cache(&converted, &cache) && options.mmap {
-                if let Ok(snap) = snapshot::read_snapshot_file(&cache, &options.snapshot_options())
-                {
+        match snapshot::read_snapshot_file(&cache, &options.snapshot_options()) {
+            Ok(snap) => {
+                if snap.version == snapshot::FORMAT_VERSION_2 && options.matches(&snap.graph) {
                     return Ok((snap.graph, true));
                 }
+                // Tier/shard/version mismatch: convert in memory, upgrade the
+                // cache, and (on the mmap path) re-read so the result is
+                // actually served from the new mapping.
+                let converted = options.payload_of(snap.graph.into_dense());
+                if try_write_cache(&converted, &cache) && options.mmap {
+                    if let Ok(snap) =
+                        snapshot::read_snapshot_file(&cache, &options.snapshot_options())
+                    {
+                        return Ok((snap.graph, true));
+                    }
+                }
+                return Ok((converted, true));
             }
-            return Ok((converted, true));
+            Err(IoError::Format(message)) | Err(IoError::Parse { message, .. }) => {
+                // Corrupt or truncated content (torn write, bit rot).
+                let note = match quarantine_cache(&cache) {
+                    Some(q) => format!("quarantined to {q:?}"),
+                    None => "left in place".to_string(),
+                };
+                eprintln!(
+                    "[cldiam] warning: snapshot cache {cache:?} is corrupt ({message}); \
+                     {note}, re-parsing {path:?}"
+                );
+            }
+            Err(IoError::Io(e)) => {
+                // An I/O failure reading a cache that statted fine: the
+                // contents may be good, so warn without quarantining.
+                eprintln!(
+                    "[cldiam] warning: cannot read snapshot cache {cache:?} ({e}); \
+                     re-parsing {path:?}"
+                );
+            }
         }
     }
-    let mut bytes = Vec::new();
-    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let bytes = read_file_bytes(path, "cache::regen")?;
     if detect_format(path, &bytes[..bytes.len().min(4096)]) == FileFormat::Binary {
         // The input already is a snapshot; writing a `.cldg.cldg` copy next
         // to it would only duplicate it. Honour the requested tier in memory.

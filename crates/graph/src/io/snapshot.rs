@@ -36,16 +36,20 @@
 //! ## Trust model
 //!
 //! The header and section table are validated eagerly on every load
-//! (checksums, plausibility, section bounds/alignment). Buffered loads also
-//! verify every payload checksum and fully re-validate dense CSR invariants,
-//! so hostile input errors cleanly, exactly like v1. The mmap path instead
-//! trusts payload *structure* — v2 snapshots are only written from
+//! (checksums, plausibility, section bounds/alignment), and so are the
+//! per-shard group bases of compressed payloads (each must stay inside its
+//! blob section, nondecreasing) — no offset read from disk is ever used to
+//! index memory before being bounds-checked. Buffered loads also verify
+//! every payload checksum and fully re-validate dense CSR invariants, so
+//! hostile input errors cleanly, exactly like v1. The mmap path instead
+//! trusts payload *contents* — v2 snapshots are only written from
 //! already-validated graphs — and verifies payload checksums only when
 //! [`SnapshotOptions::verify`] is set (the CLI's `--verify-snapshot`): a
-//! deliberately corrupted unverified mapped payload can panic (bounds
-//! checks), but never causes undefined behaviour.
+//! deliberately corrupted unverified mapped blob can still panic at
+//! traversal time (bounds checks inside the varint decoder), but never
+//! causes undefined behaviour; pass `verify` to detect it at load time.
 
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::Arc;
 
@@ -54,7 +58,7 @@ use crate::compressed::{
 };
 use crate::csr::Graph;
 use crate::io::binary::{decode_validated_dense, fnv1a, MAGIC};
-use crate::io::IoError;
+use crate::io::{le_u32, le_u64, IoError};
 use crate::mmap::Mmap;
 use crate::storage::Storage;
 use crate::weight::{NodeId, Weight};
@@ -301,12 +305,16 @@ pub fn write_snapshot<W: Write>(payload: &SnapshotPayload<'_>, writer: W) -> std
     out.flush()
 }
 
-/// Writes a v2 snapshot to a file path.
+/// Writes a v2 snapshot to a file path, crash-safely: the bytes are
+/// serialized in memory and land via temp file + fsync + atomic rename, so
+/// a crashed or concurrent writer never leaves a torn snapshot at `path`.
 pub fn write_snapshot_file<P: AsRef<Path>>(
     payload: &SnapshotPayload<'_>,
     path: P,
 ) -> std::io::Result<()> {
-    write_snapshot(payload, std::fs::File::create(path)?)
+    let mut bytes = Vec::new();
+    write_snapshot(payload, &mut bytes)?;
+    super::write_bytes_atomic(&bytes, path.as_ref())
 }
 
 /// One parsed (and eagerly validated) section table entry.
@@ -345,8 +353,8 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, IoError> {
     if &bytes[..4] != MAGIC {
         return format_err("not a cldiam binary snapshot (bad magic)");
     }
-    let u32_at = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
-    let u64_at = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"));
+    let u32_at = |at: usize| le_u32(&bytes[at..at + 4]);
+    let u64_at = |at: usize| le_u64(&bytes[at..at + 8]);
     let version = u32_at(0x04);
     if version != FORMAT_VERSION_2 {
         return format_err(format!(
@@ -386,11 +394,11 @@ fn parse_layout(bytes: &[u8]) -> Result<Layout, IoError> {
     let mut end_max = payload_start;
     for chunk in table.chunks_exact(SECTION_ENTRY_LEN) {
         let entry = SectionEntry {
-            kind: u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")),
-            shard: u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes")),
-            offset: u64::from_le_bytes(chunk[8..16].try_into().expect("8 bytes")) as usize,
-            len: u64::from_le_bytes(chunk[16..24].try_into().expect("8 bytes")) as usize,
-            checksum: u64::from_le_bytes(chunk[24..32].try_into().expect("8 bytes")),
+            kind: le_u32(&chunk[0..4]),
+            shard: le_u32(&chunk[4..8]),
+            offset: le_u64(&chunk[8..16]) as usize,
+            len: le_u64(&chunk[16..24]) as usize,
+            checksum: le_u64(&chunk[24..32]),
         };
         if !entry.offset.is_multiple_of(8) || entry.offset < payload_start {
             return format_err(format!("section {} is misaligned", entry.kind));
@@ -560,10 +568,8 @@ fn assemble_compressed(
             if entry.len % 4 != 0 || count == 0 || count > MAX_PALETTE {
                 return format_err(format!("implausible palette section ({} bytes)", entry.len));
             }
-            let table: Vec<Weight> = bytes[entry.offset..entry.offset + entry.len]
-                .chunks_exact(4)
-                .map(|c| Weight::from_le_bytes(c.try_into().expect("4 bytes")))
-                .collect();
+            let table: Vec<Weight> =
+                bytes[entry.offset..entry.offset + entry.len].chunks_exact(4).map(le_u32).collect();
             WeightCoding::Palette(table)
         }
         CODING_CONSTANT => {
@@ -591,12 +597,28 @@ fn assemble_compressed(
             _ => {
                 let bases_vec: Vec<u32> = bytes[bases.offset..bases.offset + bases.len]
                     .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .map(le_u32)
                     .collect();
                 let blob_vec = bytes[blob.offset..blob.offset + blob.len].to_vec();
                 Shard { bases: bases_vec.into(), blob: blob_vec.into() }
             }
         };
+        // The section table only bounds the *sections*; the group bases
+        // inside a `bases` section index into the blob and are trusted by
+        // `CompressedGraph::neighbors`. Validate them here (O(bases), still
+        // independent of payload size) so a hostile or bit-rotted bases
+        // array yields a typed error instead of an out-of-range slice —
+        // this covers the unverified mmap path too.
+        let mut prev = 0u32;
+        for &base in shard.bases.iter() {
+            if base as usize > blob.len || base < prev {
+                return format_err(format!(
+                    "group base {base} out of range for shard {s} ({} blob bytes)",
+                    blob.len
+                ));
+            }
+            prev = base;
+        }
         shards.push(shard);
     }
     // Reject shard/geometry mismatches the section checks cannot see.
@@ -625,8 +647,9 @@ pub fn read_snapshot_file<P: AsRef<Path>>(
     path: P,
     options: &SnapshotOptions,
 ) -> Result<Snapshot, IoError> {
-    let file = std::fs::File::open(path)?;
+    let path = path.as_ref();
     if options.mmap {
+        let file = std::fs::File::open(path)?;
         let map = Arc::new(Mmap::map(&file).map_err(IoError::Io)?);
         match snapshot_version(map.as_slice()) {
             Some(1) => Ok(Snapshot {
@@ -639,9 +662,7 @@ pub fn read_snapshot_file<P: AsRef<Path>>(
             }),
         }
     } else {
-        let mut bytes = Vec::new();
-        let mut file = file;
-        file.read_to_end(&mut bytes)?;
+        let bytes = super::read_file_bytes(path, "snapshot::read")?;
         parse_snapshot_bytes(&bytes)
     }
 }
@@ -662,7 +683,7 @@ pub fn snapshot_version(bytes: &[u8]) -> Option<u32> {
     if bytes.len() < 8 || &bytes[..4] != MAGIC {
         return None;
     }
-    Some(u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")))
+    Some(le_u32(&bytes[4..8]))
 }
 
 #[cfg(test)]

@@ -23,6 +23,10 @@
 //!   thread count.
 //! * [`properties`] — ball-growth probes related to the doubling dimension
 //!   assumption of Corollary 1.
+//! * [`cancel`] — the cooperative [`CancelToken`] polled at engine phase
+//!   boundaries for deadline-bounded, gracefully degrading runs.
+//! * [`failpoint`] — fault-injection hooks on every I/O seam (zero-cost
+//!   when disarmed; armed via `CLDIAM_FAILPOINTS` or the test registry).
 //!
 //! The paper assumes positive integral edge weights polynomial in `n`; graphs
 //! that are "born unweighted" get uniform random weights in `(0, 1]` which we
@@ -30,9 +34,11 @@
 
 pub mod atomic;
 pub mod builder;
+pub mod cancel;
 pub mod components;
 pub mod compressed;
 pub mod csr;
+pub mod failpoint;
 pub mod io;
 pub mod mmap;
 pub mod ops;
@@ -45,6 +51,7 @@ pub mod weight;
 
 pub use atomic::{MinDistCells, SeqMinCells};
 pub use builder::GraphBuilder;
+pub use cancel::CancelToken;
 pub use components::{
     component_subgraphs, connected_components, largest_component, ComponentLabels,
 };

@@ -24,6 +24,7 @@ impl Mmap {
     /// Maps `file` in its entirety. Zero-length files produce an empty view
     /// without calling `mmap` (which rejects `len == 0`).
     pub fn map(file: &File) -> io::Result<Mmap> {
+        crate::failpoint::inject("mmap::map")?;
         #[cfg(unix)]
         {
             Ok(Mmap { inner: unix::Mapping::map(file)? })

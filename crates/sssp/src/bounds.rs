@@ -46,7 +46,7 @@
 
 use std::cmp::Reverse;
 
-use cldiam_graph::{Dist, Graph, NeighborSource, NodeId, INFINITY};
+use cldiam_graph::{CancelToken, Dist, Graph, NeighborSource, NodeId, INFINITY};
 use rayon::prelude::*;
 
 use crate::batch::{DijkstraScratch, SsspDirection};
@@ -121,8 +121,12 @@ pub struct BoundsOutcome {
     /// Total SSSP runs spent.
     pub sssp_runs: usize,
     /// `true` when the interval closed to the configured tolerance before
-    /// the budget ran out.
+    /// the budget ran out (or the run was cancelled).
     pub converged: bool,
+    /// `true` when a [`CancelToken`] stopped the run before budget or
+    /// convergence — the reported interval is the best-so-far state at the
+    /// last completed phase, still a sound bracket.
+    pub interrupted: bool,
     /// Per-iteration trace, in execution order (component by component for
     /// disconnected inputs).
     pub iterations: Vec<BoundsIteration>,
@@ -130,7 +134,14 @@ pub struct BoundsOutcome {
 
 impl BoundsOutcome {
     fn trivial() -> Self {
-        BoundsOutcome { lower: 0, upper: 0, sssp_runs: 0, converged: true, iterations: Vec::new() }
+        BoundsOutcome {
+            lower: 0,
+            upper: 0,
+            sssp_runs: 0,
+            converged: true,
+            interrupted: false,
+            iterations: Vec::new(),
+        }
     }
 }
 
@@ -217,11 +228,17 @@ impl Intervals {
 /// Runs the interval engine on one *connected undirected* graph. `mapping`
 /// translates local ids to original ids for the iteration trace (`None` =
 /// identity).
+///
+/// The cancel token is polled once per iteration, after the first SSSP (so
+/// an already-expired deadline still yields a non-trivial lower bound) —
+/// SSSPs are never abandoned mid-run, because a partial distance array
+/// under-estimates eccentricities and would break the `ub` bracket.
 fn bound_connected<G: NeighborSource, O: DiameterOracle>(
     graph: &G,
     config: &BoundsConfig,
     oracle: Option<&O>,
     mapping: Option<&[NodeId]>,
+    cancel: &CancelToken,
 ) -> BoundsOutcome {
     let n = graph.num_nodes();
     if n <= 1 {
@@ -233,6 +250,7 @@ fn bound_connected<G: NeighborSource, O: DiameterOracle>(
     let mut iterations = Vec::new();
     let mut runs = 0usize;
     let mut oracle_spent = oracle.is_none();
+    let mut interrupted = false;
     let budget = config.max_sssp.max(1);
 
     // First source: the max-degree node (the BoundingDiameters heuristic —
@@ -245,6 +263,10 @@ fn bound_connected<G: NeighborSource, O: DiameterOracle>(
     let mut next_is_sweep = true;
 
     while runs < budget {
+        if runs > 0 && cancel.checkpoint() {
+            interrupted = true;
+            break;
+        }
         scratch.run(graph, source);
         runs += 1;
         let ecc = scratch.eccentricity();
@@ -301,7 +323,8 @@ fn bound_connected<G: NeighborSource, O: DiameterOracle>(
         lower: state.diam_lb,
         upper,
         sssp_runs: runs,
-        converged: within_tolerance(state.diam_lb, upper, config.tolerance),
+        converged: !interrupted && within_tolerance(state.diam_lb, upper, config.tolerance),
+        interrupted,
         iterations,
     }
 }
@@ -309,11 +332,13 @@ fn bound_connected<G: NeighborSource, O: DiameterOracle>(
 /// Runs the engine on a *directed* graph: a forward+backward Dijkstra pair
 /// per iteration. Strongly connected inputs get the interval machinery;
 /// anything else falls back to the alternating 2-dSweep chain, which
-/// certifies a lower bound only.
+/// certifies a lower bound only. Cancellation is polled once per iteration
+/// after the first forward/backward pair.
 fn bound_directed<O: DiameterOracle>(
     graph: &Graph,
     config: &BoundsConfig,
     oracle: Option<&O>,
+    cancel: &CancelToken,
 ) -> BoundsOutcome {
     let n = graph.num_nodes();
     if n <= 1 {
@@ -323,6 +348,7 @@ fn bound_directed<O: DiameterOracle>(
     let mut bwd = DijkstraScratch::new();
     let mut iterations = Vec::new();
     let mut runs = 0usize;
+    let mut interrupted = false;
     let budget = config.max_sssp.max(1);
 
     // First pair decides the mode: strong connectivity is exactly "the first
@@ -351,6 +377,10 @@ fn bound_directed<O: DiameterOracle>(
         let mut current = fwd.farthest_node();
         let mut direction = SsspDirection::Backward;
         while runs < budget && fwd.sweep_mark(current) {
+            if cancel.checkpoint() {
+                interrupted = true;
+                break;
+            }
             fwd.run_directed(graph, current, direction);
             runs += 1;
             best = best.max(fwd.eccentricity());
@@ -373,6 +403,7 @@ fn bound_directed<O: DiameterOracle>(
             upper: INFINITY,
             sssp_runs: runs,
             converged: false,
+            interrupted,
             iterations,
         };
     }
@@ -425,6 +456,10 @@ fn bound_directed<O: DiameterOracle>(
         if runs + 2 > budget {
             break;
         }
+        if cancel.checkpoint() {
+            interrupted = true;
+            break;
+        }
         source =
             if next_is_sweep && state.lb[sweep_target as usize] < state.ub[sweep_target as usize] {
                 sweep_target
@@ -444,7 +479,8 @@ fn bound_directed<O: DiameterOracle>(
         lower: state.diam_lb,
         upper,
         sssp_runs: runs,
-        converged: within_tolerance(state.diam_lb, upper, config.tolerance),
+        converged: !interrupted && within_tolerance(state.diam_lb, upper, config.tolerance),
+        interrupted,
         iterations,
     }
 }
@@ -463,23 +499,40 @@ pub fn bounds_diameter_with_split<G: NeighborSource, O: DiameterOracle>(
     oracle: Option<&O>,
     split: &ComponentSplit,
 ) -> BoundsOutcome {
+    bounds_diameter_with_split_cancel(graph, config, oracle, split, &CancelToken::never())
+}
+
+/// [`bounds_diameter_with_split`] with a cooperative [`CancelToken`].
+///
+/// Every component gets its own *child* token (fresh checkpoint counter
+/// over the shared flag/deadline), so a logical check budget stops each
+/// component after the same number of phase boundaries at any thread count
+/// — the degraded result is deterministic for a fixed cadence.
+pub fn bounds_diameter_with_split_cancel<G: NeighborSource, O: DiameterOracle>(
+    graph: &G,
+    config: &BoundsConfig,
+    oracle: Option<&O>,
+    split: &ComponentSplit,
+    cancel: &CancelToken,
+) -> BoundsOutcome {
     assert!(!graph.is_directed(), "bounds_diameter_with_split expects an undirected graph");
     if graph.num_nodes() == 0 {
         return BoundsOutcome::trivial();
     }
     if split.is_connected() {
-        return bound_connected(graph, config, oracle, None);
+        return bound_connected(graph, config, oracle, None, cancel);
     }
     let outcomes: Vec<BoundsOutcome> = split
         .parts
         .par_iter()
-        .map(|(sub, mapping)| bound_connected(sub, config, oracle, Some(mapping)))
+        .map(|(sub, mapping)| bound_connected(sub, config, oracle, Some(mapping), &cancel.child()))
         .collect();
     let mut combined = BoundsOutcome::trivial();
     for outcome in outcomes {
         combined.lower = combined.lower.max(outcome.lower);
         combined.upper = combined.upper.max(outcome.upper);
         combined.converged &= outcome.converged;
+        combined.interrupted |= outcome.interrupted;
         // Re-base each component's cumulative run counter onto the trace.
         let base = combined.sssp_runs;
         combined.iterations.extend(outcome.iterations.into_iter().map(|mut it| {
@@ -502,10 +555,27 @@ pub fn bounds_diameter<O: DiameterOracle>(
     config: &BoundsConfig,
     oracle: Option<&O>,
 ) -> BoundsOutcome {
+    bounds_diameter_cancel(graph, config, oracle, &CancelToken::never())
+}
+
+/// [`bounds_diameter`] with a cooperative [`CancelToken`] (see
+/// [`bounds_diameter_with_split_cancel`] for the determinism contract).
+pub fn bounds_diameter_cancel<O: DiameterOracle>(
+    graph: &Graph,
+    config: &BoundsConfig,
+    oracle: Option<&O>,
+    cancel: &CancelToken,
+) -> BoundsOutcome {
     if graph.is_directed() {
-        return bound_directed(graph, config, oracle);
+        return bound_directed(graph, config, oracle, cancel);
     }
-    bounds_diameter_with_split(graph, config, oracle, &ComponentSplit::compute(graph))
+    bounds_diameter_with_split_cancel(
+        graph,
+        config,
+        oracle,
+        &ComponentSplit::compute(graph),
+        cancel,
+    )
 }
 
 /// Directed 2-dSweep lower bound: an alternating forward/backward sweep
@@ -742,6 +812,68 @@ mod tests {
                     "start {start} budget {budget}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn cancelled_run_reports_best_so_far_bracket() {
+        let g = mesh(9, WeightModel::UniformUnit, 2);
+        let exact = exact_diameter(&g);
+        let cancel = CancelToken::never();
+        cancel.cancel();
+        let outcome = bounds_diameter_cancel(&g, &BoundsConfig::default(), NO_ORACLE, &cancel);
+        // Even a pre-cancelled token admits one SSSP, so the lower bound is
+        // non-trivial and the interval still brackets the exact diameter.
+        assert!(outcome.interrupted);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.sssp_runs, 1);
+        assert!(outcome.lower > 0);
+        assert!(outcome.lower <= exact && exact <= outcome.upper);
+    }
+
+    #[test]
+    fn check_limit_cancellation_is_deterministic() {
+        let g = mesh(8, WeightModel::UniformUnit, 17);
+        let exact = exact_diameter(&g);
+        let config = BoundsConfig::default().with_max_sssp(1_000);
+        let run =
+            || bounds_diameter_cancel(&g, &config, NO_ORACLE, &CancelToken::with_check_limit(3));
+        let first = run();
+        assert!(first.interrupted && !first.converged);
+        assert!(first.lower <= exact && exact <= first.upper);
+        for _ in 0..5 {
+            assert_eq!(run(), first, "logical cadence must be reproducible");
+        }
+    }
+
+    #[test]
+    fn check_limit_is_deterministic_across_components() {
+        // Two non-singleton components bounded in parallel: each gets a
+        // child token with a fresh counter, so the combined outcome is
+        // schedule-independent.
+        let mut b = GraphBuilder::new(14);
+        for i in 0..6u32 {
+            b.add_edge(i, i + 1, 2 + i);
+        }
+        for i in 7..13u32 {
+            b.add_edge(i, i + 1, 3 * (i - 6));
+        }
+        let g = b.build();
+        let split = ComponentSplit::compute(&g);
+        let config = BoundsConfig::default().with_max_sssp(1_000);
+        let run = || {
+            bounds_diameter_with_split_cancel(
+                &g,
+                &config,
+                NO_ORACLE,
+                &split,
+                &CancelToken::with_check_limit(2),
+            )
+        };
+        let first = run();
+        assert!(first.interrupted);
+        for _ in 0..5 {
+            assert_eq!(run(), first);
         }
     }
 

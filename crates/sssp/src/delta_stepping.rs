@@ -59,7 +59,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use cldiam_mr::CostTracker;
 use rayon::prelude::*;
 
-use cldiam_graph::{Dist, MinDistCells, NeighborSource, NodeId, Weight, INFINITY};
+use cldiam_graph::{CancelToken, Dist, MinDistCells, NeighborSource, NodeId, Weight, INFINITY};
 
 /// Result of a Δ-stepping run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +78,12 @@ pub struct DeltaSteppingOutcome {
     /// bucket-array engine counts distinct improved nodes per phase (see the
     /// module docs); the reference counts improving requests.
     pub updates: u64,
+    /// `true` when a [`CancelToken`] stopped the run at a bucket boundary.
+    /// The distances then are *tentative*: every finite entry is a valid
+    /// upper bound on the true shortest-path distance (relaxation only ever
+    /// improves), but entries may exceed it and unreached nodes stay
+    /// [`INFINITY`]. Uninterruptible callers always see `false`.
+    pub interrupted: bool,
 }
 
 impl DeltaSteppingOutcome {
@@ -293,6 +299,34 @@ pub fn delta_stepping_with_scratch<G: NeighborSource>(
     tracker: Option<&CostTracker>,
     scratch: &mut SsspScratch,
 ) -> DeltaSteppingOutcome {
+    delta_stepping_with_scratch_cancel(
+        graph,
+        source,
+        delta,
+        tracker,
+        scratch,
+        &CancelToken::never(),
+    )
+}
+
+/// [`delta_stepping_with_scratch`] with a cooperative [`CancelToken`],
+/// polled once per settled bucket. An interrupted run reports
+/// `interrupted = true` and tentative distances that are sound per-node
+/// upper bounds (see [`DeltaSteppingOutcome::interrupted`]); buckets are
+/// settled in ascending order, so for a fixed logical check cadence the
+/// degraded output is deterministic at any thread count.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or `delta` is zero.
+pub fn delta_stepping_with_scratch_cancel<G: NeighborSource>(
+    graph: &G,
+    source: NodeId,
+    delta: Weight,
+    tracker: Option<&CostTracker>,
+    scratch: &mut SsspScratch,
+    cancel: &CancelToken,
+) -> DeltaSteppingOutcome {
     let n = graph.num_nodes();
     assert!((source as usize) < n, "source {source} out of range (n = {n})");
     assert!(delta >= 1, "delta must be positive");
@@ -369,7 +403,14 @@ pub fn delta_stepping_with_scratch<G: NeighborSource>(
         new_min
     }
 
+    let mut interrupted = false;
     loop {
+        // Bucket boundary: the cheapest consistent point to stop — every
+        // applied relaxation is committed, nothing is in flight.
+        if cancel.checkpoint() {
+            interrupted = true;
+            break;
+        }
         // Pull overflow entries the advancing horizon now covers.
         if overflow_min < base + ring_size {
             overflow_min = drain_overflow(scratch, base, delta_dist);
@@ -487,6 +528,7 @@ pub fn delta_stepping_with_scratch<G: NeighborSource>(
         phases,
         relaxations,
         updates,
+        interrupted,
     }
 }
 
@@ -626,7 +668,7 @@ pub fn delta_stepping_reference<G: NeighborSource>(
         t.add_node_updates(updates);
     }
 
-    DeltaSteppingOutcome { source, delta, dist, phases, relaxations, updates }
+    DeltaSteppingOutcome { source, delta, dist, phases, relaxations, updates, interrupted: false }
 }
 
 #[cfg(test)]
@@ -756,6 +798,35 @@ mod tests {
     fn reference_rejects_zero_delta() {
         let g = Graph::from_edges(2, &[(0, 1, 1)]);
         delta_stepping_reference(&g, 0, 0, None);
+    }
+
+    #[test]
+    fn cancelled_run_reports_tentative_upper_bound_distances() {
+        let g = mesh(10, WeightModel::UniformUnit, 7);
+        let exact = dijkstra(&g, 0);
+        let cancel = cldiam_graph::CancelToken::with_check_limit(3);
+        let mut scratch = SsspScratch::new();
+        let outcome = delta_stepping_with_scratch_cancel(&g, 0, 1_000, None, &mut scratch, &cancel);
+        assert!(outcome.interrupted);
+        assert_eq!(outcome.dist[0], 0);
+        for (v, (&got, &want)) in outcome.dist.iter().zip(exact.dist.iter()).enumerate() {
+            assert!(got >= want, "node {v}: tentative {got} below exact {want}");
+        }
+        // Reruns with a fresh token of the same cadence are bit-identical.
+        let mut scratch2 = SsspScratch::new();
+        let again = delta_stepping_with_scratch_cancel(
+            &g,
+            0,
+            1_000,
+            None,
+            &mut scratch2,
+            &cldiam_graph::CancelToken::with_check_limit(3),
+        );
+        assert_eq!(outcome, again);
+        // An uncancelled run on the reused scratch still matches Dijkstra.
+        let full = delta_stepping_with_scratch(&g, 0, 1_000, None, &mut scratch);
+        assert!(!full.interrupted);
+        assert_eq!(full.dist, exact.dist);
     }
 
     #[test]

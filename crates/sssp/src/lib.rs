@@ -46,16 +46,18 @@ pub mod dijkstra;
 pub mod hops;
 
 pub use batch::{
-    batched_eccentricities, multi_source_dijkstra, DijkstraScratch, ScratchPool, SsspDirection,
+    batched_eccentricities, multi_source_dijkstra, multi_source_dijkstra_cancel, DijkstraScratch,
+    ScratchPool, SsspDirection,
 };
 pub use bellman_ford::bellman_ford;
 pub use bounds::{
-    bounds_diameter, bounds_diameter_with_split, double_sweep_lower_bound, BoundsConfig,
-    BoundsIteration, BoundsOutcome, DiameterOracle, NoOracle, NO_ORACLE,
+    bounds_diameter, bounds_diameter_cancel, bounds_diameter_with_split,
+    bounds_diameter_with_split_cancel, double_sweep_lower_bound, BoundsConfig, BoundsIteration,
+    BoundsOutcome, DiameterOracle, NoOracle, NO_ORACLE,
 };
 pub use delta_stepping::{
-    delta_stepping, delta_stepping_reference, delta_stepping_with_scratch, suggest_delta,
-    DeltaSteppingOutcome, SsspScratch,
+    delta_stepping, delta_stepping_reference, delta_stepping_with_scratch,
+    delta_stepping_with_scratch_cancel, suggest_delta, DeltaSteppingOutcome, SsspScratch,
 };
 pub use diameter::{
     all_eccentricities, diameter_lower_bound, diameter_lower_bound_with_split, eccentricity,

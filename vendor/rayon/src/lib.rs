@@ -333,6 +333,34 @@ mod tests {
     }
 
     #[test]
+    fn propagated_panic_is_deterministic_across_schedules() {
+        // Several chunks panic concurrently; the caller must always observe
+        // the payload from the lowest-indexed chunk, regardless of which
+        // worker reported first. Chunks are contiguous index ranges, so the
+        // lowest panicking chunk aborts at the globally smallest bad item.
+        for threads in [1, 4] {
+            let pool = super::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            for _ in 0..20 {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    pool.install(|| {
+                        (0..1000usize).into_par_iter().for_each(|i| {
+                            if i % 100 == 37 {
+                                panic!("boom at {i}");
+                            }
+                        });
+                    })
+                }));
+                let payload = result.unwrap_err();
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .expect("panic payload should be the formatted message");
+                assert_eq!(message, "boom at 37", "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
     fn for_each_visits_everything_exactly_once() {
         let counter = AtomicUsize::new(0);
         let pool = super::ThreadPoolBuilder::new().num_threads(8).build().unwrap();

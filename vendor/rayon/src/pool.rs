@@ -50,8 +50,13 @@ pub(crate) struct Batch {
     next: AtomicUsize,
     /// Number of chunks that finished executing.
     done: AtomicUsize,
-    /// First panic payload raised by a chunk, re-thrown by the caller.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Panic payload raised by the *lowest-indexed* panicking chunk, paired
+    /// with its index, re-thrown by the caller. Keeping the lowest index
+    /// (rather than the first observed) makes the propagated panic
+    /// deterministic: every chunk always runs (claiming never aborts early),
+    /// so the set of panicking chunks is schedule-independent, and the
+    /// minimum over that set is too.
+    panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>>,
     completed: Mutex<bool>,
     cvar: Condvar,
 }
@@ -95,8 +100,9 @@ impl Batch {
             let task = unsafe { &*self.task };
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
                 let mut slot = lock(&self.panic);
-                if slot.is_none() {
-                    *slot = Some(payload);
+                match &*slot {
+                    Some((lowest, _)) if *lowest <= index => {}
+                    _ => *slot = Some((index, payload)),
                 }
             }
             if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
@@ -167,7 +173,7 @@ impl PoolInner {
         batch.help();
         batch.wait();
         let payload = lock(&batch.panic).take();
-        if let Some(payload) = payload {
+        if let Some((_, payload)) = payload {
             panic::resume_unwind(payload);
         }
     }
