@@ -11,6 +11,8 @@
 //! Criterion benches under `benches/` provide statistically sound timings of
 //! the individual pipeline stages.
 
+#![forbid(unsafe_code)]
+
 pub mod json;
 pub mod report;
 pub mod runner;

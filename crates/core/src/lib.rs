@@ -42,6 +42,8 @@
 //! assert!(estimate.ratio_against(lower) < 2.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod atomic_state;
 pub mod bounds;
 pub mod cluster;

@@ -1,0 +1,79 @@
+//! Model-checked verification of `AtomicGrowCells` — the Δ-growing
+//! relaxation protocol the paper's CLUSTER machinery runs on. Compiled
+//! only with `--features model-check` (which transitively routes the
+//! underlying `SeqMinCells` through the model-check shims). Run with:
+//!
+//! ```text
+//! cargo test -p cldiam-core --features model-check --test model_growing
+//! ```
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use cldiam_core::atomic_state::{AtomicGrowCells, Proposed};
+use cldiam_core::state::GrowState;
+use cldiam_modelcheck as mc;
+
+fn fresh_cells(n: usize) -> AtomicGrowCells {
+    // `load_from` fans out through rayon internally, but at model sizes
+    // (n « min_len) it collapses to a single chunk executed inline on the
+    // calling model thread — so every cell store is properly recorded.
+    let state = GrowState::new(n);
+    let mut cells = AtomicGrowCells::new();
+    cells.load_from(&state);
+    cells
+}
+
+#[test]
+fn concurrent_proposals_converge_and_first_reach_is_unique() {
+    // Two centers race to claim an unreached node. Every interleaving must
+    // end at the minimum (eff, center, src) key with its payload, and
+    // exactly one proposal may observe `newly_reached` — the invariant the
+    // growth step's frontier accounting depends on.
+    let report = mc::explore(mc::Config::bounded(3), || {
+        let cells = Arc::new(fresh_cells(1));
+        let proposals = [(5i64, 1u32, 1u32, 5u64), (3, 2, 2, 3)];
+        let threads: Vec<_> = proposals
+            .into_iter()
+            .map(|(eff, center, src_plus, true_d)| {
+                let cells = Arc::clone(&cells);
+                mc::thread::spawn(move || cells.propose(0, eff, center, src_plus, true_d))
+            })
+            .collect();
+        let outcomes: Vec<Proposed> = threads.into_iter().map(|t| t.join()).collect();
+        assert_eq!(cells.read(0), (3, 2, 3), "cell must hold the minimum proposal");
+        let first_reaches = outcomes
+            .iter()
+            .filter(|o| matches!(o, Proposed::Improved { newly_reached: true }))
+            .count();
+        assert_eq!(first_reaches, 1, "exactly one proposal reaches the node first: {outcomes:?}");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn settled_ties_hold_under_concurrent_proposals() {
+    // After settle(), an equal (eff, center) re-proposal must lose in every
+    // schedule, even racing against a strictly better proposal.
+    let report = mc::explore(mc::Config::bounded(3), || {
+        let cells = Arc::new(fresh_cells(1));
+        assert!(matches!(cells.propose(0, 5, 2, 3, 5), Proposed::Improved { .. }));
+        cells.settle(0);
+        let tie = {
+            let cells = Arc::clone(&cells);
+            mc::thread::spawn(move || cells.propose(0, 5, 2, 1, 5))
+        };
+        let better = {
+            let cells = Arc::clone(&cells);
+            mc::thread::spawn(move || cells.propose(0, 4, 9, 1, 4))
+        };
+        assert_eq!(tie.join(), Proposed::Rejected, "settled ties must hold");
+        assert!(matches!(better.join(), Proposed::Improved { .. }));
+        assert_eq!(cells.read(0), (4, 9, 4));
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}

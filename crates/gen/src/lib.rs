@@ -16,6 +16,8 @@
 //! synthetic proxies with the same topological character (see `DESIGN.md`,
 //! "Substitutions"). Every generator is deterministic given a `u64` seed.
 
+#![forbid(unsafe_code)]
+
 pub mod mesh;
 pub mod path;
 pub mod random;

@@ -37,7 +37,20 @@
 //! upper-bounds the final value — a proposal already above it can never win
 //! and is dismissed with a single load.
 
+// Behind the `model-check` feature the atomics (and the spin hint) route
+// through the cldiam-modelcheck shims, so the very code below — not a
+// transcription of it — runs under the schedule-exploring model checker
+// (see crates/modelcheck and the feature-gated tests/model_atomic.rs).
+// Outside an exploration the shims delegate to std with zero overhead.
+#[cfg(not(feature = "model-check"))]
+use std::hint::spin_loop;
+#[cfg(not(feature = "model-check"))]
 use std::sync::atomic::{fence, AtomicI64, AtomicU32, AtomicU64, Ordering};
+
+#[cfg(feature = "model-check")]
+use cldiam_modelcheck::hint::spin_loop;
+#[cfg(feature = "model-check")]
+use cldiam_modelcheck::sync::atomic::{fence, AtomicI64, AtomicU32, AtomicU64, Ordering};
 
 use crate::weight::{Dist, INFINITY};
 
@@ -210,6 +223,33 @@ impl SeqMinCells {
         self.key3[v].store(0, Ordering::Relaxed);
     }
 
+    /// Seqlock-validated read of the full `(key1, key2, key3, payload)`
+    /// tuple of node `v`, safe *during* a wave: retries until a read is
+    /// bracketed by the same even sequence value, so the returned tuple is
+    /// never torn across a concurrent [`SeqMinCells::propose`] write. Use
+    /// the quiescent [`SeqMinCells::read`] family between waves instead —
+    /// it skips the validation loop.
+    pub fn read_coherent(&self, v: usize) -> (i64, u32, u32, u64) {
+        let seq = &self.seq[v];
+        loop {
+            let s = seq.load(Ordering::Acquire);
+            if s & 1 == 1 {
+                spin_loop();
+                continue;
+            }
+            let key1 = self.key1[v].load(Ordering::Relaxed);
+            let key2 = self.key2[v].load(Ordering::Relaxed);
+            let key3 = self.key3[v].load(Ordering::Relaxed);
+            let payload = self.payload[v].load(Ordering::Relaxed);
+            // Order the field loads before the validating re-read of `seq`.
+            fence(Ordering::Acquire);
+            if seq.load(Ordering::Relaxed) == s {
+                return (key1, key2, key3, payload);
+            }
+            spin_loop();
+        }
+    }
+
     /// Attempts to improve node `v` with the proposal
     /// `(key1, key2, key3, payload)`. Returns `Some(previous_key2)` when the
     /// cell was improved (the caller can detect a first-ever assignment from
@@ -235,7 +275,7 @@ impl SeqMinCells {
             if s & 1 == 1 {
                 // A writer holds the cell; it is about to strictly decrease
                 // the key, so we must re-read before deciding anything.
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
             let cur_key1 = self.key1[v].load(Ordering::Relaxed);
@@ -334,6 +374,44 @@ mod tests {
         // value; a strictly better key1 still wins.
         assert_eq!(cells.propose(1, 10, 2, 1, 0), None);
         assert_eq!(cells.propose(1, 9, 9, 1, 9), Some(2));
+    }
+
+    #[test]
+    fn seq_min_cells_read_coherent_matches_quiescent_read() {
+        let mut cells = SeqMinCells::new();
+        cells.resize(1);
+        cells.set(0, i64::MAX, u32::MAX, 0, u64::MAX);
+        assert_eq!(cells.read_coherent(0), (i64::MAX, u32::MAX, 0, u64::MAX));
+        cells.propose(0, 5, 2, 9, 77);
+        assert_eq!(cells.read_coherent(0), (5, 2, 9, 77));
+        let (k1, k2, p) = cells.read(0);
+        assert_eq!((k1, k2, cells.read_key3(0), p), cells.read_coherent(0));
+    }
+
+    #[test]
+    fn seq_min_cells_read_coherent_is_never_torn_under_contention() {
+        let mut cells = SeqMinCells::new();
+        cells.resize(1);
+        cells.set(0, i64::MAX, u32::MAX, 0, u64::MAX);
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let cells = &cells;
+                scope.spawn(move || {
+                    for round in 0..1000i64 {
+                        // Writers keep key1 == payload in every proposal, so
+                        // any torn tuple is detectable by value.
+                        let key1 = i64::from(t) + 4000 - round * 4;
+                        cells.propose(0, key1, t, t + 1, key1 as u64);
+                    }
+                });
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        let (key1, _, _, payload) = cells.read_coherent(0);
+                        assert_eq!(key1 as u64, payload, "torn concurrent read");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

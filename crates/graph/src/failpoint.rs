@@ -66,6 +66,8 @@ static ENV_CHECKED: AtomicBool = AtomicBool::new(false);
 
 fn registry() -> &'static Mutex<HashMap<String, Entry>> {
     static REGISTRY: OnceLock<Mutex<HashMap<String, Entry>>> = OnceLock::new();
+    // lint:allow(hash-determinism): lookup-only registry keyed by site name;
+    // iteration order is never observed by any output path.
     REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
 }
 

@@ -99,7 +99,7 @@ pub fn write_binary<W: Write>(graph: &Graph, writer: W) -> std::io::Result<()> {
 
 /// Writes a snapshot to a file path.
 pub fn write_binary_file<P: AsRef<Path>>(graph: &Graph, path: P) -> std::io::Result<()> {
-    let file = std::fs::File::create(path)?;
+    let file = super::create_file(path.as_ref(), "binary::write")?;
     write_binary(graph, file)
 }
 

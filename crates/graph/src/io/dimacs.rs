@@ -230,7 +230,7 @@ pub fn write_dimacs<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
 
 /// Writes the graph to a file path in DIMACS form.
 pub fn write_dimacs_file<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
+    let file = super::create_file(path.as_ref(), "dimacs::write")?;
     write_dimacs(graph, file)
 }
 

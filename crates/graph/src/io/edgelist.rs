@@ -114,7 +114,7 @@ pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
 
 /// Writes the graph to a file path.
 pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
+    let file = super::create_file(path.as_ref(), "edgelist::write")?;
     write_edge_list(graph, file)
 }
 

@@ -94,6 +94,29 @@ pub(crate) fn read_file_bytes(path: &Path, site: &str) -> std::io::Result<Vec<u8
     })
 }
 
+/// Opens `path` for reading through the failpoint seam `site`, retrying
+/// transient errors. Streaming readers that cannot buffer the whole file
+/// (or that hand the handle to `mmap`) funnel through here instead of
+/// [`read_file_bytes`]; either way every open in the crate passes a
+/// failpoint, so chaos tests can inject `EIO`/`ENOENT`/delays uniformly.
+pub(crate) fn open_file(path: &Path, site: &str) -> std::io::Result<std::fs::File> {
+    with_io_retry(|| {
+        failpoint::inject(site)?;
+        std::fs::File::open(path)
+    })
+}
+
+/// Creates (truncating) `path` for writing through the failpoint seam
+/// `site`, retrying transient errors. Streaming writers — section-at-a-time
+/// snapshot and text emitters — funnel through here; buffered whole-file
+/// writes use [`write_bytes_atomic`] instead.
+pub(crate) fn create_file(path: &Path, site: &str) -> std::io::Result<std::fs::File> {
+    with_io_retry(|| {
+        failpoint::inject(site)?;
+        std::fs::File::create(path)
+    })
+}
+
 /// Persists `bytes` crash-safely: write to a same-directory temp file,
 /// fsync, then atomically rename over `path`. A reader never observes a
 /// half-written file — it sees either the old contents or the new ones.

@@ -649,7 +649,7 @@ pub fn read_snapshot_file<P: AsRef<Path>>(
 ) -> Result<Snapshot, IoError> {
     let path = path.as_ref();
     if options.mmap {
-        let file = std::fs::File::open(path)?;
+        let file = super::open_file(path, "snapshot::read")?;
         let map = Arc::new(Mmap::map(&file).map_err(IoError::Io)?);
         match snapshot_version(map.as_slice()) {
             Some(1) => Ok(Snapshot {

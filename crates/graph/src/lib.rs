@@ -32,6 +32,10 @@
 //! that are "born unweighted" get uniform random weights in `(0, 1]` which we
 //! represent in fixed point with scale [`WEIGHT_SCALE`].
 
+// Unsafe is confined to the `storage` and `mmap` modules, which opt
+// back in at module scope with their invariants documented per site.
+#![deny(unsafe_code)]
+
 pub mod atomic;
 pub mod builder;
 pub mod cancel;

@@ -8,6 +8,10 @@
 //! transparently degrades to reading the file into an owned buffer, so
 //! callers stay platform-agnostic.
 
+// The crate denies unsafe; this module opts back in for the mmap FFI
+// (every site carries a SAFETY note).
+#![allow(unsafe_code)]
+
 use std::fs::File;
 use std::io;
 
@@ -109,9 +113,11 @@ mod unix {
         len: usize,
     }
 
-    // The region is immutable (PROT_READ, MAP_PRIVATE) for the lifetime of
-    // the value, so shared references from any thread are sound.
+    // SAFETY: the region is immutable (PROT_READ, MAP_PRIVATE) for the
+    // lifetime of the value, so shared references from any thread are sound.
     unsafe impl Send for Mapping {}
+    // SAFETY: as above — the mapping is read-only and owned, so concurrent
+    // shared access cannot observe a mutation.
     unsafe impl Sync for Mapping {}
 
     impl Mapping {
@@ -122,6 +128,10 @@ mod unix {
             }
             let len = usize::try_from(len)
                 .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+            // SAFETY: plain FFI call with a valid open fd; a null hint, and a
+            // length checked non-zero above. The kernel picks the address, and
+            // failure is reported as MAP_FAILED (-1), checked below before the
+            // pointer is ever dereferenced.
             let ptr = unsafe {
                 mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
             };

@@ -8,6 +8,10 @@
 //! so clones are O(1) and the file stays mapped for as long as any array
 //! refers into it.
 
+// The crate denies unsafe; this module opts back in for the documented
+// raw-slice reinterpretations below (every site carries a SAFETY note).
+#![allow(unsafe_code)]
+
 use std::ops::Deref;
 use std::sync::Arc;
 

@@ -1,0 +1,60 @@
+//! Vector clocks for the happens-before relation.
+
+/// A vector clock: component `t` is the number of events of thread `t`
+/// known to happen-before the clock's owner. Clocks grow lazily, so a
+/// missing component reads as 0.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VectorClock {
+    components: Vec<u32>,
+}
+
+impl VectorClock {
+    /// The zero clock (happens-before everything).
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `tid` (0 when never touched).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.components.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances thread `tid`'s own component by one event.
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.components.len() <= tid {
+            self.components.resize(tid + 1, 0);
+        }
+        self.components[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other` knew.
+    pub(crate) fn join(&mut self, other: &VectorClock) {
+        if self.components.len() < other.components.len() {
+            self.components.resize(other.components.len(), 0);
+        }
+        for (mine, theirs) in self.components.iter_mut().zip(&other.components) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_and_get() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 0);
+        assert_eq!(b.get(2), 1);
+        assert_eq!(b.get(9), 0);
+        assert_eq!(std::mem::take(&mut b).get(0), 2);
+        assert_eq!(b.get(0), 0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Shimmed `std::hint` for spin loops.
+
+use crate::rt::{self, Op};
+
+/// Shimmed `std::hint::spin_loop`. Under the model this is a *yield*
+/// schedule point: the spinning thread forfeits the next step so another
+/// runnable thread makes progress — without it, a reader spinning on a
+/// seqlock would monopolize the serialized scheduler forever. A protocol
+/// that spins without ever being released still fails the exploration via
+/// the per-run step cap (reported as a livelock).
+pub fn spin_loop() {
+    rt::op_current(Op::Yield, std::hint::spin_loop);
+}

@@ -1,0 +1,725 @@
+//! The exploration runtime: a cooperative scheduler that serializes model
+//! threads, a DFS/random schedule explorer, and the happens-before engine.
+//!
+//! # How an exploration runs
+//!
+//! [`explore`] runs the model closure once per *schedule*. Within one run,
+//! model threads are real OS threads, but they execute one at a time: every
+//! instrumented operation (shim atomic access, fence, [`crate::cell`]
+//! access, spin hint, spawn, join) is a *schedule point* where the thread
+//! blocks until the scheduler grants it the turn, performs the operation
+//! while serialized, and then picks which thread runs next. Because only
+//! one thread runs between schedule points and all shared accesses go
+//! through schedule points, each schedule is fully deterministic — which is
+//! what lets the explorer *replay* a schedule prefix and branch off it.
+//!
+//! # Exploration strategies
+//!
+//! * **Exhaustive DFS** ([`Mode::Exhaustive`]): at every schedule point
+//!   where more than one thread could run, a choice point is pushed;
+//!   after the run finishes, the deepest choice point with an untried
+//!   option is advanced and everything before it is replayed. With
+//!   [`Config::preemption_bound`] set, switching away from a runnable
+//!   thread costs one unit of a CHESS-style preemption budget, which
+//!   keeps the space polynomial while still covering the schedules that
+//!   expose almost all real bugs.
+//! * **Seeded random** ([`Mode::Random`]): each iteration draws scheduler
+//!   choices from a SplitMix64 stream; used to supplement DFS for 4+
+//!   threads.
+//!
+//! # What counts as a bug
+//!
+//! * an assertion (panic) in any model thread,
+//! * a data race on a [`crate::cell::TrackedCell`] (vector-clock detector;
+//!   happens-before edges come only from the orderings the code actually
+//!   uses, so relaxed publishes and dropped fences are caught),
+//! * a deadlock (every live thread blocked on a join),
+//! * a livelock (the per-run step cap is exceeded — e.g. a reader spinning
+//!   on a seqlock whose writer never released).
+//!
+//! The failing schedule is reported as the sequence of thread ids chosen at
+//! each step.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::clock::VectorClock;
+
+/// One instrumented operation, as seen by the scheduler and the
+/// happens-before engine.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Op {
+    /// Atomic load with the given ordering.
+    AtomicLoad { addr: usize, order: Ordering },
+    /// Atomic store with the given ordering.
+    AtomicStore { addr: usize, order: Ordering },
+    /// Atomic read-modify-write (swap, fetch_*, compare_exchange) with the
+    /// given (success) ordering.
+    AtomicRmw { addr: usize, order: Ordering },
+    /// `std::sync::atomic::fence`.
+    Fence { order: Ordering },
+    /// Non-atomic read of a [`crate::cell::TrackedCell`].
+    PlainRead { addr: usize, label: &'static str },
+    /// Non-atomic write of a [`crate::cell::TrackedCell`].
+    PlainWrite { addr: usize, label: &'static str },
+    /// `spin_loop` hint: forfeits the next scheduling step so another
+    /// runnable thread (if any) makes progress.
+    Yield,
+}
+
+/// How [`explore`] walks the schedule space.
+#[derive(Clone, Copy, Debug)]
+pub enum Mode {
+    /// Depth-first enumeration of all schedules (subject to
+    /// [`Config::preemption_bound`] and [`Config::max_schedules`]).
+    Exhaustive,
+    /// `iterations` runs with scheduler choices drawn from a seeded
+    /// SplitMix64 stream (a fresh stream per iteration).
+    Random {
+        /// Number of random schedules to run.
+        iterations: usize,
+        /// Base seed; iteration `i` uses a deterministic derivation of it.
+        seed: u64,
+    },
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// In exhaustive mode, the CHESS-style context-switch budget: switching
+    /// away from a thread that could have continued costs one unit. `None`
+    /// explores every interleaving.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored schedules; hitting it ends the exploration with
+    /// [`Report::complete`] = `false`.
+    pub max_schedules: usize,
+    /// Per-run step cap; exceeding it is reported as a livelock.
+    pub max_steps: usize,
+    /// Maximum live model threads per run.
+    pub max_threads: usize,
+    /// Exploration strategy.
+    pub mode: Mode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::bounded(2)
+    }
+}
+
+impl Config {
+    /// Full exhaustive exploration (no preemption bound). Only tractable
+    /// for 2–3 threads with a handful of operations each.
+    pub fn exhaustive() -> Self {
+        Config {
+            preemption_bound: None,
+            max_schedules: 250_000,
+            max_steps: 10_000,
+            max_threads: 16,
+            mode: Mode::Exhaustive,
+        }
+    }
+
+    /// Exhaustive exploration with a preemption budget — the default and
+    /// the practical choice for the real primitives (a bound of 2 covers
+    /// the schedules that expose almost all known classes of concurrency
+    /// bugs while keeping the space polynomial).
+    pub fn bounded(preemptions: usize) -> Self {
+        Config { preemption_bound: Some(preemptions), ..Config::exhaustive() }
+    }
+
+    /// Seeded random exploration for thread counts where DFS is hopeless.
+    pub fn random(iterations: usize, seed: u64) -> Self {
+        Config { mode: Mode::Random { iterations, seed }, ..Config::exhaustive() }
+    }
+}
+
+/// A bug found by the explorer.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// What went wrong (assertion message, race description, deadlock…).
+    pub message: String,
+    /// The failing schedule: the thread id chosen at each scheduler step.
+    pub schedule: Vec<usize>,
+}
+
+/// The outcome of an exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules that ran.
+    pub schedules: usize,
+    /// The first bug found, if any (exploration stops at the first bug).
+    pub failure: Option<Failure>,
+    /// `true` iff the schedule space was exhausted (exhaustive mode only).
+    pub complete: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Choice {
+    options: Vec<usize>,
+    picked: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    /// Forfeited the next step via a spin hint.
+    Yielded,
+    /// Waiting for the given thread to finish.
+    Blocked(usize),
+    Finished,
+}
+
+/// Per-location happens-before metadata.
+#[derive(Clone, Debug, Default)]
+struct Loc {
+    /// Clock published by release stores (and accumulated by RMWs) to this
+    /// location; acquire loads join it.
+    release: VectorClock,
+    /// Last plain write: `(thread, event number)`.
+    write: Option<(usize, u32)>,
+    /// Plain reads since the last plain write: `(thread, event number)`.
+    reads: Vec<(usize, u32)>,
+}
+
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+struct St {
+    preemption_bound: Option<usize>,
+    max_steps: usize,
+    max_threads: usize,
+    random: Option<SplitMix64>,
+    current: usize,
+    threads: Vec<TState>,
+    clocks: Vec<VectorClock>,
+    pending_acquire: Vec<VectorClock>,
+    release_fence: Vec<VectorClock>,
+    final_clocks: Vec<Option<VectorClock>>,
+    joiners: Vec<Vec<usize>>,
+    locs: HashMap<usize, Loc>,
+    schedule: Vec<Choice>,
+    sched_pos: usize,
+    step: usize,
+    preemptions: usize,
+    live: usize,
+    trace: Vec<usize>,
+    failure: Option<String>,
+}
+
+impl St {
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(message);
+        }
+    }
+
+    /// Applies the happens-before effect of `op` (and checks plain accesses
+    /// for races) *before* the operation executes.
+    fn apply_sync(&mut self, tid: usize, op: &Op) {
+        let is_acq =
+            |o: Ordering| matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst);
+        let is_rel =
+            |o: Ordering| matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        match *op {
+            Op::AtomicLoad { addr, order } => {
+                let loc = self.locs.remove(&addr).unwrap_or_default();
+                if is_acq(order) {
+                    self.clocks[tid].join(&loc.release);
+                } else {
+                    // A relaxed load only synchronizes once a later acquire
+                    // fence promotes it.
+                    self.pending_acquire[tid].join(&loc.release);
+                }
+                self.locs.insert(addr, loc);
+            }
+            Op::AtomicStore { addr, order } => {
+                let mut loc = self.locs.remove(&addr).unwrap_or_default();
+                loc.release = if is_rel(order) {
+                    self.clocks[tid].clone()
+                } else {
+                    // A relaxed store publishes only what a preceding
+                    // release fence made publishable — and breaks any
+                    // release sequence headed by an earlier store.
+                    self.release_fence[tid].clone()
+                };
+                self.locs.insert(addr, loc);
+            }
+            Op::AtomicRmw { addr, order } => {
+                let mut loc = self.locs.remove(&addr).unwrap_or_default();
+                if is_acq(order) {
+                    self.clocks[tid].join(&loc.release);
+                } else {
+                    self.pending_acquire[tid].join(&loc.release);
+                }
+                // An RMW continues the release sequence of the store it
+                // replaces: the existing release clock is kept and extended.
+                if is_rel(order) {
+                    let vc = self.clocks[tid].clone();
+                    loc.release.join(&vc);
+                } else {
+                    let fence_vc = self.release_fence[tid].clone();
+                    loc.release.join(&fence_vc);
+                }
+                self.locs.insert(addr, loc);
+            }
+            Op::Fence { order } => {
+                if is_acq(order) {
+                    let pending = std::mem::take(&mut self.pending_acquire[tid]);
+                    self.clocks[tid].join(&pending);
+                }
+                if is_rel(order) {
+                    self.release_fence[tid] = self.clocks[tid].clone();
+                }
+            }
+            Op::PlainRead { addr, label } => {
+                let mut loc = self.locs.remove(&addr).unwrap_or_default();
+                if let Some((wt, wc)) = loc.write {
+                    if wt != tid && self.clocks[tid].get(wt) < wc {
+                        self.fail(format!(
+                            "data race on `{label}`: plain read is concurrent with a plain \
+                             write by thread {wt} (no happens-before edge)"
+                        ));
+                    }
+                }
+                loc.reads.retain(|&(t, _)| t != tid);
+                // The read is this thread's next event (the clock ticks
+                // after the op), hence the +1.
+                loc.reads.push((tid, self.clocks[tid].get(tid) + 1));
+                self.locs.insert(addr, loc);
+            }
+            Op::PlainWrite { addr, label } => {
+                let mut loc = self.locs.remove(&addr).unwrap_or_default();
+                if let Some((wt, wc)) = loc.write {
+                    if wt != tid && self.clocks[tid].get(wt) < wc {
+                        self.fail(format!(
+                            "data race on `{label}`: plain write is concurrent with a plain \
+                             write by thread {wt} (no happens-before edge)"
+                        ));
+                    }
+                }
+                for &(rt, rc) in &loc.reads {
+                    if rt != tid && self.clocks[tid].get(rt) < rc {
+                        self.fail(format!(
+                            "data race on `{label}`: plain write is concurrent with a plain \
+                             read by thread {rt} (no happens-before edge)"
+                        ));
+                    }
+                }
+                loc.write = Some((tid, self.clocks[tid].get(tid) + 1));
+                loc.reads.clear();
+                self.locs.insert(addr, loc);
+            }
+            Op::Yield => {}
+        }
+    }
+
+    /// Advances the scheduler by one step: decides which thread executes
+    /// its next operation. Called by the thread that just completed one.
+    fn pick_next(&mut self, from: usize) {
+        if self.failure.is_some() || self.live == 0 {
+            return;
+        }
+        self.step += 1;
+        if self.step > self.max_steps {
+            self.fail(format!(
+                "livelock: exceeded {} scheduler steps (a spin loop is not making progress?)",
+                self.max_steps
+            ));
+            return;
+        }
+        let mut enabled: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, TState::Runnable))
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            // Only spin-yielded threads are left: revive them (a yield
+            // forfeits one step, it does not park the thread).
+            for (i, t) in self.threads.iter_mut().enumerate() {
+                if matches!(t, TState::Yielded) {
+                    *t = TState::Runnable;
+                    enabled.push(i);
+                }
+            }
+        }
+        if enabled.is_empty() {
+            if self.threads.iter().any(|t| matches!(t, TState::Blocked(_))) {
+                self.fail("deadlock: every live thread is blocked on a join".to_string());
+            }
+            return; // everything finished
+        }
+        let from_enabled = enabled.contains(&from);
+        let options: Vec<usize> = if from_enabled {
+            let budget_spent = self.preemption_bound.is_some_and(|b| self.preemptions >= b);
+            if budget_spent {
+                vec![from]
+            } else {
+                // Current-first so the DFS baseline is "run to completion".
+                let mut o = vec![from];
+                o.extend(enabled.iter().copied().filter(|&t| t != from));
+                o
+            }
+        } else {
+            enabled
+        };
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else if let Some(rng) = &mut self.random {
+            options[(rng.next() % options.len() as u64) as usize]
+        } else if self.sched_pos < self.schedule.len() {
+            let choice = &self.schedule[self.sched_pos];
+            if choice.options != options {
+                self.fail(
+                    "nondeterministic model closure: replay diverged from the recorded \
+                     schedule (model closures must not depend on time, ambient randomness \
+                     or real threads)"
+                        .to_string(),
+                );
+                return;
+            }
+            let t = choice.options[choice.picked];
+            self.sched_pos += 1;
+            t
+        } else {
+            self.schedule.push(Choice { options: options.clone(), picked: 0 });
+            self.sched_pos += 1;
+            options[0]
+        };
+        if from_enabled && chosen != from {
+            self.preemptions += 1;
+        }
+        // Yielded threads become candidates again at the following step.
+        for t in self.threads.iter_mut() {
+            if matches!(t, TState::Yielded) {
+                *t = TState::Runnable;
+            }
+        }
+        self.current = chosen;
+        self.trace.push(chosen);
+    }
+}
+
+/// Shared state of one exploration run.
+pub(crate) struct Shared {
+    lock: Mutex<St>,
+    cv: Condvar,
+    done: Condvar,
+}
+
+/// The sentinel panic payload used to unwind model threads once a bug has
+/// been recorded (so they drain instead of reporting secondary failures).
+struct ExplorationAbort;
+
+fn lock_st<'a>(m: &'a Mutex<St>) -> MutexGuard<'a, St> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn new(config: &Config, prefix: Vec<Choice>, iteration_seed: u64) -> Self {
+        let random = match config.mode {
+            Mode::Random { .. } => Some(SplitMix64(iteration_seed)),
+            Mode::Exhaustive => None,
+        };
+        let mut clock0 = VectorClock::new();
+        clock0.tick(0);
+        Shared {
+            lock: Mutex::new(St {
+                preemption_bound: config.preemption_bound,
+                max_steps: config.max_steps,
+                max_threads: config.max_threads,
+                random,
+                current: 0,
+                threads: vec![TState::Runnable],
+                clocks: vec![clock0],
+                pending_acquire: vec![VectorClock::new()],
+                release_fence: vec![VectorClock::new()],
+                final_clocks: vec![None],
+                joiners: vec![Vec::new()],
+                // lint:allow(hash-determinism): address-keyed location table,
+                // looked up point-wise only; never iterated toward output.
+                locs: HashMap::new(),
+                schedule: prefix,
+                sched_pos: 0,
+                step: 0,
+                preemptions: 0,
+                live: 1,
+                trace: Vec::new(),
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    fn wait_turn(&self, tid: usize) -> MutexGuard<'_, St> {
+        let mut st = lock_st(&self.lock);
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                self.cv.notify_all();
+                self.done.notify_all();
+                panic::panic_any(ExplorationAbort);
+            }
+            if st.current == tid {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn wait_turn_allow_failure(&self, tid: usize) -> MutexGuard<'_, St> {
+        let mut st = lock_st(&self.lock);
+        loop {
+            if st.failure.is_some() || st.current == tid {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Executes one instrumented operation under the scheduler.
+    fn op<R>(&self, tid: usize, op: Op, f: impl FnOnce() -> R) -> R {
+        let mut st = self.wait_turn(tid);
+        st.apply_sync(tid, &op);
+        if st.failure.is_some() {
+            drop(st);
+            self.cv.notify_all();
+            self.done.notify_all();
+            panic::panic_any(ExplorationAbort);
+        }
+        let result = f();
+        st.clocks[tid].tick(tid);
+        if matches!(op, Op::Yield) {
+            st.threads[tid] = TState::Yielded;
+        }
+        st.pick_next(tid);
+        drop(st);
+        self.cv.notify_all();
+        result
+    }
+
+    /// Registers a child thread (a schedule point for the parent) and
+    /// returns its id. The spawn edge parent → child is recorded.
+    pub(crate) fn spawn_entry(&self, parent: usize) -> usize {
+        let mut st = self.wait_turn(parent);
+        let tid = st.threads.len();
+        if tid >= st.max_threads {
+            let max = st.max_threads;
+            st.fail(format!("spawned more than max_threads = {max} model threads"));
+            drop(st);
+            self.cv.notify_all();
+            self.done.notify_all();
+            panic::panic_any(ExplorationAbort);
+        }
+        st.threads.push(TState::Runnable);
+        let mut child_clock = st.clocks[parent].clone();
+        child_clock.tick(tid);
+        st.clocks.push(child_clock);
+        st.pending_acquire.push(VectorClock::new());
+        st.release_fence.push(VectorClock::new());
+        st.final_clocks.push(None);
+        st.joiners.push(Vec::new());
+        st.live += 1;
+        st.clocks[parent].tick(parent);
+        st.pick_next(parent);
+        drop(st);
+        self.cv.notify_all();
+        tid
+    }
+
+    /// Blocks `me` until `target` finishes, recording the join edge.
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        let mut st = self.wait_turn(me);
+        if !matches!(st.threads[target], TState::Finished) {
+            st.threads[me] = TState::Blocked(target);
+            st.joiners[target].push(me);
+            st.pick_next(me);
+            drop(st);
+            self.cv.notify_all();
+            st = self.wait_turn(me);
+        }
+        let final_clock =
+            st.final_clocks[target].clone().expect("joined model thread has a final clock");
+        st.clocks[me].join(&final_clock);
+        st.clocks[me].tick(me);
+        st.pick_next(me);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Marks `tid` finished, wakes its joiners, hands the turn on.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = self.wait_turn_allow_failure(tid);
+        st.threads[tid] = TState::Finished;
+        st.live -= 1;
+        st.final_clocks[tid] = Some(st.clocks[tid].clone());
+        let joiners = std::mem::take(&mut st.joiners[tid]);
+        for j in joiners {
+            st.threads[j] = TState::Runnable;
+        }
+        st.pick_next(tid);
+        drop(st);
+        self.cv.notify_all();
+        self.done.notify_all();
+    }
+
+    /// Records a panic from a model thread as the run's failure (the abort
+    /// sentinel used to drain threads after a failure is ignored).
+    pub(crate) fn record_panic(&self, tid: usize, payload: Box<dyn std::any::Any + Send>) {
+        if payload.downcast_ref::<ExplorationAbort>().is_some() {
+            return;
+        }
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "model thread panicked".to_string());
+        let mut st = lock_st(&self.lock);
+        st.fail(format!("model thread {tid} panicked: {message}"));
+        drop(st);
+        self.cv.notify_all();
+        self.done.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = lock_st(&self.lock);
+        while st.live > 0 {
+            st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Shared>, usize)>> = const { RefCell::new(None) };
+    /// Set while this thread belongs to an exploration: its panics are part
+    /// of the protocol (assertion = bug, sentinel = drain) and must not spam
+    /// stderr through the default hook.
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The exploration context of the calling thread, if any.
+pub(crate) fn current_context() -> Option<(Arc<Shared>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Installs the exploration context on a freshly spawned model thread.
+pub(crate) fn enter_thread(shared: &Arc<Shared>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(shared), tid)));
+    QUIET_PANICS.with(|q| q.set(true));
+}
+
+/// Routes an instrumented operation through the active exploration, or runs
+/// it directly when no exploration is active (passthrough mode).
+pub(crate) fn op_current<R>(op: Op, f: impl FnOnce() -> R) -> R {
+    match current_context() {
+        None => f(),
+        Some((shared, tid)) => shared.op(tid, op, f),
+    }
+}
+
+/// Silences the default panic hook for threads that are part of an
+/// exploration (their panics are recorded and reported by [`explore`]).
+/// Installed once per process; panics of ordinary threads are unaffected.
+fn install_quiet_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if QUIET_PANICS.with(|q| q.get()) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+fn backtrack(mut schedule: Vec<Choice>) -> Option<Vec<Choice>> {
+    while let Some(mut last) = schedule.pop() {
+        if last.picked + 1 < last.options.len() {
+            last.picked += 1;
+            schedule.push(last);
+            return Some(schedule);
+        }
+    }
+    None
+}
+
+/// Runs `f` under the schedule explorer and returns what was found. See the
+/// module docs; prefer [`check`] in tests that expect a clean pass.
+pub fn explore(config: Config, f: impl Fn()) -> Report {
+    install_quiet_panic_hook();
+    assert!(current_context().is_none(), "explore() cannot be nested inside a model closure");
+    let mut prefix: Vec<Choice> = Vec::new();
+    let mut schedules = 0usize;
+    let mut iteration_seed = match config.mode {
+        Mode::Random { seed, .. } => seed,
+        Mode::Exhaustive => 0,
+    };
+    loop {
+        if schedules >= config.max_schedules {
+            return Report { schedules, failure: None, complete: false };
+        }
+        let shared = Arc::new(Shared::new(&config, std::mem::take(&mut prefix), iteration_seed));
+        iteration_seed = iteration_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&shared), 0)));
+        let was_quiet = QUIET_PANICS.with(|q| q.replace(true));
+        let outcome = panic::catch_unwind(AssertUnwindSafe(&f));
+        if let Err(payload) = outcome {
+            shared.record_panic(0, payload);
+        }
+        shared.finish_thread(0);
+        shared.wait_all_finished();
+        QUIET_PANICS.with(|q| q.set(was_quiet));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        schedules += 1;
+        let (failure, schedule, trace) = {
+            let mut st = lock_st(&shared.lock);
+            (st.failure.take(), std::mem::take(&mut st.schedule), std::mem::take(&mut st.trace))
+        };
+        if let Some(message) = failure {
+            return Report {
+                schedules,
+                failure: Some(Failure { message, schedule: trace }),
+                complete: false,
+            };
+        }
+        match config.mode {
+            Mode::Random { iterations, .. } => {
+                if schedules >= iterations {
+                    return Report { schedules, failure: None, complete: false };
+                }
+            }
+            Mode::Exhaustive => match backtrack(schedule) {
+                Some(next_prefix) => prefix = next_prefix,
+                None => return Report { schedules, failure: None, complete: true },
+            },
+        }
+    }
+}
+
+/// [`explore`], panicking with the failing schedule if a bug is found. The
+/// assertion style for "this protocol is correct" model tests.
+pub fn check(config: Config, f: impl Fn()) {
+    let report = explore(config, f);
+    if let Some(failure) = report.failure {
+        panic!(
+            "model checking failed after {} schedule(s): {}\nschedule (thread per step): {:?}",
+            report.schedules, failure.message, failure.schedule
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Model `spawn`/`join` with happens-before edges.
+//!
+//! Usable only inside an [`crate::explore`] closure (ordinary code keeps
+//! using `std::thread`; nothing in the repo routes thread creation through
+//! this module outside model tests). Spawn publishes the parent's clock to
+//! the child; join publishes the child's final clock to the joiner — the
+//! same edges `std::thread` guarantees.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+/// Handle to a model thread; see [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+/// Spawns a model thread running `f` under the active exploration's
+/// scheduler. Panics if called outside [`crate::explore`].
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (shared, parent) = rt::current_context()
+        .expect("cldiam_modelcheck::thread::spawn called outside an explore() closure");
+    let tid = shared.spawn_entry(parent);
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    std::thread::Builder::new()
+        .name(format!("model-{tid}"))
+        .spawn(move || {
+            rt::enter_thread(&shared, tid);
+            match panic::catch_unwind(AssertUnwindSafe(f)) {
+                Ok(value) => {
+                    *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+                }
+                Err(payload) => shared.record_panic(tid, payload),
+            }
+            shared.finish_thread(tid);
+        })
+        .expect("failed to spawn a model OS thread");
+    JoinHandle { tid, result }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Unlike
+    /// `std::thread`, a panicking model thread fails the whole exploration
+    /// (there is no `Err` arm to observe), so this returns `T` directly.
+    pub fn join(self) -> T {
+        let (shared, me) =
+            rt::current_context().expect("JoinHandle::join called outside an explore() closure");
+        shared.join_thread(me, self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+            .expect("joined model thread finished without storing a result")
+    }
+}

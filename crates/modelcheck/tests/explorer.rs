@@ -1,0 +1,243 @@
+//! Explorer semantics: schedule enumeration, happens-before edges from
+//! spawn/join and release/acquire, and passthrough behavior outside
+//! explorations. The deliberately-broken-protocol catalogue lives in
+//! `mutants.rs`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cldiam_modelcheck as mc;
+use mc::cell::TrackedCell;
+use mc::sync::atomic::{fence, AtomicBool, AtomicU64};
+
+#[test]
+fn passthrough_outside_exploration() {
+    // Shims must be transparent when no exploration is active: the
+    // `model-check` feature can be on for an entire crate without
+    // affecting ordinary unit tests.
+    let a = AtomicU64::new(10);
+    assert_eq!(a.fetch_min(3, Ordering::Relaxed), 10);
+    assert_eq!(a.load(Ordering::Relaxed), 3);
+    let c = TrackedCell::new("cell", 7u32);
+    c.set(8);
+    assert_eq!(c.get(), 8);
+    fence(Ordering::SeqCst);
+}
+
+#[test]
+fn single_thread_is_one_schedule() {
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let a = AtomicU64::new(0);
+        a.store(5, Ordering::Relaxed);
+        assert_eq!(a.load(Ordering::Relaxed), 5);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert_eq!(report.schedules, 1);
+    assert!(report.complete);
+}
+
+#[test]
+fn fetch_min_is_linearizable() {
+    // Two concurrent fetch_min proposals: every interleaving must leave
+    // the true minimum — the semantics Δ-stepping's MinDistCells rely on.
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let cell = Arc::new(AtomicU64::new(u64::MAX));
+        let threads: Vec<_> = [3u64, 7]
+            .into_iter()
+            .map(|d| {
+                let cell = Arc::clone(&cell);
+                mc::thread::spawn(move || {
+                    cell.fetch_min(d, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(cell.load(Ordering::Relaxed), 3);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.schedules > 1, "expected several interleavings, got {}", report.schedules);
+    assert!(report.complete);
+}
+
+#[test]
+fn exhaustive_search_finds_lost_update() {
+    // Increment written as load+store is not atomic; some interleaving
+    // loses an update and the final assertion fires. The explorer must
+    // find that interleaving and report the failing schedule.
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                mc::thread::spawn(move || {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2, "lost update");
+    });
+    let failure = report.failure.expect("the lost-update interleaving must be found");
+    assert!(failure.message.contains("lost update"), "unexpected failure: {failure:?}");
+    assert!(!failure.schedule.is_empty());
+}
+
+#[test]
+fn random_mode_finds_lost_update() {
+    let report = mc::explore(mc::Config::random(500, 0xC1D1A), || {
+        let counter = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..3)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                mc::thread::spawn(move || {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 3, "lost update");
+    });
+    assert!(report.failure.is_some(), "500 random schedules should hit a lost update");
+}
+
+#[test]
+fn release_acquire_publication_is_clean() {
+    // The canonical message-passing idiom: plain payload published via a
+    // Release store, consumed after an Acquire load observes the flag.
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let data = Arc::new(TrackedCell::new("payload", 0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                data.set(42);
+                flag.store(true, Ordering::Release);
+            })
+        };
+        let reader = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                if flag.load(Ordering::Acquire) {
+                    assert_eq!(data.get(), 42);
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn fence_based_publication_is_clean() {
+    // Same protocol, but with relaxed accesses promoted by explicit
+    // fences — the shape SeqMinCells::propose uses.
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let data = Arc::new(TrackedCell::new("payload", 0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                data.set(42);
+                fence(Ordering::Release);
+                flag.store(true, Ordering::Relaxed);
+            })
+        };
+        let reader = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                if flag.load(Ordering::Relaxed) {
+                    fence(Ordering::Acquire);
+                    assert_eq!(data.get(), 42);
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn spawn_and_join_are_happens_before_edges() {
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let data = Arc::new(TrackedCell::new("inherited", 1u64));
+        data.set(2); // pre-spawn write: ordered by the spawn edge
+        let child = {
+            let data = Arc::clone(&data);
+            mc::thread::spawn(move || {
+                assert_eq!(data.get(), 2);
+                data.set(3);
+            })
+        };
+        child.join();
+        assert_eq!(data.get(), 3); // post-join read: ordered by the join edge
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn preemption_bound_shrinks_the_schedule_space() {
+    let run = |config: mc::Config| {
+        mc::explore(config, || {
+            let a = Arc::new(AtomicU64::new(0));
+            let threads: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    mc::thread::spawn(move || {
+                        a.fetch_add(1, Ordering::Relaxed);
+                        a.fetch_add(1, Ordering::Relaxed);
+                        a.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join();
+            }
+            assert_eq!(a.load(Ordering::Relaxed), 6);
+        })
+    };
+    let full = run(mc::Config::exhaustive());
+    let bounded = run(mc::Config::bounded(1));
+    assert!(full.failure.is_none() && bounded.failure.is_none());
+    assert!(full.complete && bounded.complete);
+    assert!(
+        bounded.schedules < full.schedules,
+        "bound 1 ({}) should explore fewer schedules than unbounded ({})",
+        bounded.schedules,
+        full.schedules
+    );
+}
+
+#[test]
+fn check_panics_with_the_failing_schedule() {
+    let result = std::panic::catch_unwind(|| {
+        mc::check(mc::Config::exhaustive(), || {
+            let a = Arc::new(AtomicU64::new(0));
+            let t = {
+                let a = Arc::clone(&a);
+                mc::thread::spawn(move || a.store(1, Ordering::Relaxed))
+            };
+            // Read before the join: some schedule sees 0, some sees 1 —
+            // and the assertion pins it to 1.
+            let seen = a.load(Ordering::Relaxed);
+            t.join();
+            assert_eq!(seen, 1);
+        });
+    });
+    let payload = result.expect_err("check() must panic on a caught failure");
+    let message = payload.downcast_ref::<String>().expect("panic carries a message");
+    assert!(message.contains("model checking failed"), "{message}");
+    assert!(message.contains("schedule"), "{message}");
+}

@@ -1,0 +1,355 @@
+//! Mutation suite: deliberately broken variants of the repo's concurrency
+//! protocols, each of which the model checker MUST catch. These pin the
+//! checker's teeth — a detector that stops flagging any of these variants
+//! has lost the sensitivity the clean-pass tests in `model_atomic.rs` /
+//! `model_claim.rs` (behind the `model-check` feature) depend on.
+//!
+//! Catalogue (each mutant mirrors a real protocol):
+//!
+//! | mutant                         | models a bug in                         |
+//! |--------------------------------|------------------------------------------|
+//! | lost-update fetch-min          | `MinDistCells::propose` CAS loop        |
+//! | seqlock skipped sequence bump  | `SeqMinCells::propose` writer           |
+//! | seqlock unvalidated read       | `SeqMinCells::read` reader              |
+//! | non-atomic (relaxed) publish   | snapshot handoff / executor results     |
+//! | dropped release fence          | `SeqMinCells` field publication         |
+//! | relaxed completion counter     | executor `Batch::done` tracking         |
+//! | double chunk claim             | executor `Batch::next` chunk claiming   |
+//! | writer never releases seqlock  | any stuck writer (livelock detection)   |
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use cldiam_modelcheck as mc;
+use mc::cell::TrackedCell;
+use mc::hint::spin_loop;
+use mc::sync::atomic::{fence, AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+fn must_catch(report: mc::Report, needle: &str) -> mc::Failure {
+    let failure = report.failure.unwrap_or_else(|| {
+        panic!("mutant must be caught (explored {} schedules)", report.schedules)
+    });
+    assert!(
+        failure.message.contains(needle),
+        "expected a `{needle}` failure, got: {}",
+        failure.message
+    );
+    assert!(!failure.schedule.is_empty(), "failure must carry its schedule");
+    failure
+}
+
+/// A tiny seqlock over two u32 fields, the shape of `SeqMinCells`: even
+/// sequence = consistent, writer takes it odd, bumps by 2 on release;
+/// readers validate the sequence around a relaxed field read.
+struct SeqPair {
+    seq: AtomicU32,
+    a: AtomicU32,
+    b: AtomicU32,
+}
+
+impl SeqPair {
+    fn new() -> Self {
+        Self { seq: AtomicU32::new(0), a: AtomicU32::new(0), b: AtomicU32::new(0) }
+    }
+
+    fn write(&self, value: u32, skip_seq_bump: bool) {
+        loop {
+            let s = self.seq.load(Ordering::Relaxed);
+            if s.is_multiple_of(2)
+                && self.seq.compare_exchange(s, s + 1, Ordering::Acquire, Ordering::Relaxed).is_ok()
+            {
+                if skip_seq_bump {
+                    // MUTANT: fields change while the lock is released —
+                    // readers can validate mid-write and see a torn pair.
+                    self.seq.store(s, Ordering::Release);
+                    self.a.store(value, Ordering::Relaxed);
+                    self.b.store(value, Ordering::Relaxed);
+                } else {
+                    self.a.store(value, Ordering::Relaxed);
+                    self.b.store(value, Ordering::Relaxed);
+                    self.seq.store(s + 2, Ordering::Release);
+                }
+                return;
+            }
+            spin_loop();
+        }
+    }
+
+    fn read(&self, validate: bool) -> (u32, u32) {
+        loop {
+            let s = self.seq.load(Ordering::Acquire);
+            if !s.is_multiple_of(2) {
+                spin_loop();
+                continue;
+            }
+            let a = self.a.load(Ordering::Relaxed);
+            let b = self.b.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if !validate || self.seq.load(Ordering::Relaxed) == s {
+                return (a, b);
+            }
+            spin_loop();
+        }
+    }
+}
+
+fn explore_seqlock(skip_seq_bump: bool, validate: bool) -> mc::Report {
+    // The retry loops make unbounded exhaustive search explode (the 250k
+    // schedule cap trips after ~30s); a preemption bound of 3 terminates
+    // quickly and still covers every schedule the mutants need.
+    mc::explore(mc::Config::bounded(3), || {
+        let pair = Arc::new(SeqPair::new());
+        let writer = {
+            let pair = Arc::clone(&pair);
+            mc::thread::spawn(move || pair.write(7, skip_seq_bump))
+        };
+        let reader = {
+            let pair = Arc::clone(&pair);
+            mc::thread::spawn(move || {
+                let (a, b) = pair.read(validate);
+                assert_eq!(a, b, "torn seqlock read");
+            })
+        };
+        writer.join();
+        reader.join();
+    })
+}
+
+#[test]
+fn correct_seqlock_passes_exhaustively() {
+    let report = explore_seqlock(false, true);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete, "bounded 2-thread seqlock exploration must terminate");
+    assert!(report.schedules > 10);
+}
+
+#[test]
+fn mutant_seqlock_skipped_sequence_bump_is_caught() {
+    must_catch(explore_seqlock(true, true), "torn seqlock read");
+}
+
+#[test]
+fn mutant_seqlock_unvalidated_read_is_caught() {
+    must_catch(explore_seqlock(false, false), "torn seqlock read");
+}
+
+#[test]
+fn mutant_fetch_min_as_load_then_store_is_caught() {
+    // MUTANT of the MinDistCells fetch-min: the read-modify-write is split
+    // into a load and a store, so a concurrent smaller proposal can be
+    // overwritten (lost update).
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let cell = Arc::new(AtomicU64::new(u64::MAX));
+        let threads: Vec<_> = [3u64, 7]
+            .into_iter()
+            .map(|d| {
+                let cell = Arc::clone(&cell);
+                mc::thread::spawn(move || {
+                    if cell.load(Ordering::Relaxed) > d {
+                        cell.store(d, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join();
+        }
+        assert_eq!(cell.load(Ordering::Relaxed), 3, "fetch-min lost update");
+    });
+    must_catch(report, "fetch-min lost update");
+}
+
+fn explore_publication(store_order: Ordering, load_order: Ordering) -> mc::Report {
+    mc::explore(mc::Config::exhaustive(), || {
+        let data = Arc::new(TrackedCell::new("published payload", 0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                data.set(42);
+                flag.store(true, store_order);
+            })
+        };
+        let reader = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            mc::thread::spawn(move || {
+                if flag.load(load_order) {
+                    assert_eq!(data.get(), 42);
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+    })
+}
+
+#[test]
+fn mutant_non_atomic_publish_is_caught() {
+    // MUTANT: the flag is stored relaxed, so observing it gives the reader
+    // no claim on the payload write — a data race, even though the
+    // serialized model execution happens to read the right value.
+    must_catch(explore_publication(Ordering::Relaxed, Ordering::Acquire), "data race");
+    must_catch(explore_publication(Ordering::Release, Ordering::Relaxed), "data race");
+}
+
+#[test]
+fn mutant_dropped_release_fence_is_caught() {
+    // The fence-promoted relaxed publication from `SeqMinCells::propose`,
+    // with either fence dropped: the happens-before edge disappears.
+    let run = |drop_release: bool, drop_acquire: bool| {
+        mc::explore(mc::Config::exhaustive(), || {
+            let data = Arc::new(TrackedCell::new("fenced payload", 0u64));
+            let flag = Arc::new(AtomicBool::new(false));
+            let writer = {
+                let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+                mc::thread::spawn(move || {
+                    data.set(42);
+                    if !drop_release {
+                        fence(Ordering::Release);
+                    }
+                    flag.store(true, Ordering::Relaxed);
+                })
+            };
+            let reader = {
+                let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+                mc::thread::spawn(move || {
+                    if flag.load(Ordering::Relaxed) {
+                        if !drop_acquire {
+                            fence(Ordering::Acquire);
+                        }
+                        assert_eq!(data.get(), 42);
+                    }
+                })
+            };
+            writer.join();
+            reader.join();
+        })
+    };
+    must_catch(run(true, false), "data race");
+    must_catch(run(false, true), "data race");
+}
+
+/// Executor-shaped completion tracking: workers write their result slot
+/// and bump `done`; the coordinator spins until all results are in.
+fn explore_done_counter(bump_order: Ordering, read_order: Ordering) -> mc::Report {
+    mc::explore(mc::Config::bounded(2), || {
+        let results: Arc<[TrackedCell<u64>; 2]> =
+            Arc::new([TrackedCell::new("result[0]", 0), TrackedCell::new("result[1]", 0)]);
+        let done = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let (results, done) = (Arc::clone(&results), Arc::clone(&done));
+                mc::thread::spawn(move || {
+                    results[i].set(i as u64 + 10);
+                    done.fetch_add(1, bump_order);
+                })
+            })
+            .collect();
+        // Coordinator: consume as soon as the counter says both finished
+        // (before joining — exactly how `Batch::run` consumes results).
+        while done.load(read_order) < 2 {
+            spin_loop();
+        }
+        let total = results[0].get() + results[1].get();
+        assert_eq!(total, 21);
+        for w in workers {
+            w.join();
+        }
+    })
+}
+
+#[test]
+fn correct_done_counter_passes() {
+    let report = explore_done_counter(Ordering::AcqRel, Ordering::Acquire);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+#[test]
+fn mutant_relaxed_done_counter_is_caught() {
+    // MUTANT: the completion counter is bumped/read relaxed, so the
+    // coordinator's result reads race with the workers' writes.
+    must_catch(explore_done_counter(Ordering::Relaxed, Ordering::Relaxed), "data race");
+}
+
+/// Executor-shaped chunk claiming over 2 chunks by 2 workers: each claimed
+/// chunk is written exactly once. With the atomic `fetch_add` claim this
+/// is race-free; with a load+store claim two workers can claim the same
+/// chunk and their writes race.
+fn explore_chunk_claim(split_claim: bool) -> mc::Report {
+    mc::explore(mc::Config::exhaustive(), || {
+        let chunks: Arc<[TrackedCell<u64>; 2]> =
+            Arc::new([TrackedCell::new("chunk[0]", 0), TrackedCell::new("chunk[1]", 0)]);
+        let next = Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..2)
+            .map(|worker| {
+                let (chunks, next) = (Arc::clone(&chunks), Arc::clone(&next));
+                mc::thread::spawn(move || loop {
+                    let claimed = if split_claim {
+                        // MUTANT: claim is load+store, not one RMW — both
+                        // workers can claim the same chunk.
+                        let i = next.load(Ordering::Relaxed);
+                        next.store(i + 1, Ordering::Relaxed);
+                        i
+                    } else {
+                        next.fetch_add(1, Ordering::Relaxed)
+                    };
+                    if claimed >= 2 {
+                        return;
+                    }
+                    chunks[claimed].set(worker + 1);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        assert!(chunks[0].get() != 0 && chunks[1].get() != 0, "chunk never processed");
+    })
+}
+
+#[test]
+fn correct_chunk_claim_passes_exhaustively() {
+    let report = explore_chunk_claim(false);
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}
+
+#[test]
+fn mutant_double_chunk_claim_is_caught() {
+    let failure = explore_chunk_claim(true).failure.expect("double claim must be caught");
+    // Either symptom convicts the mutant: two unsynchronized writers on
+    // one chunk (race) or a chunk skipped because `next` jumped past it.
+    assert!(
+        failure.message.contains("data race") || failure.message.contains("chunk never processed"),
+        "unexpected failure: {}",
+        failure.message
+    );
+}
+
+#[test]
+fn mutant_stuck_writer_is_reported_as_livelock() {
+    // MUTANT: the writer takes the sequence lock and never releases it, so
+    // the reader spins forever — the step cap must convert that into a
+    // reported livelock rather than a hung test.
+    let config = mc::Config { max_steps: 500, ..mc::Config::bounded(1) };
+    let report = mc::explore(config, || {
+        let seq = Arc::new(AtomicU32::new(0));
+        let writer = {
+            let seq = Arc::clone(&seq);
+            mc::thread::spawn(move || {
+                seq.store(1, Ordering::Release); // odd = locked, never bumped back
+            })
+        };
+        let reader = {
+            let seq = Arc::clone(&seq);
+            mc::thread::spawn(move || {
+                while !seq.load(Ordering::Acquire).is_multiple_of(2) {
+                    spin_loop();
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+    });
+    must_catch(report, "livelock");
+}

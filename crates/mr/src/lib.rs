@@ -26,6 +26,8 @@
 //! * [`primitives`] — the sorting and (segmented) prefix-sum primitives of
 //!   Fact 1, with their `O(log_{M_L} n)` round accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod metrics;

@@ -37,6 +37,8 @@
 //!   diameter `Ψ(G)`, the quantities governing the paper's round-complexity
 //!   analysis.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod bellman_ford;
 pub mod bounds;

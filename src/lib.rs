@@ -29,6 +29,8 @@
 //! assert!(estimate.upper_bound >= lower);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use cldiam_core as core;
 pub use cldiam_gen as gen;
 pub use cldiam_graph as graph;

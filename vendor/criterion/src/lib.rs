@@ -9,6 +9,8 @@
 //! `--test` (run each benchmark exactly once) so `cargo test --benches`
 //! stays fast.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::{self, Display};
 use std::hint;
 use std::time::{Duration, Instant};

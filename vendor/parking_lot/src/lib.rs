@@ -4,6 +4,8 @@
 //! directly instead of `Result`s; poisoning is ignored, matching parking_lot
 //! semantics).
 
+#![forbid(unsafe_code)]
+
 use std::sync;
 
 pub use sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};

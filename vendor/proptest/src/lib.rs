@@ -14,6 +14,8 @@
 //!   `hash(test name) ⊕ case index`;
 //! * `prop_assert!` / `prop_assert_eq!` are hard assertions.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Configuration and the deterministic per-case RNG.
 

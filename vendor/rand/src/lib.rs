@@ -12,6 +12,8 @@
 //! every seed-derived expectation in this workspace was produced with this
 //! implementation.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core random-number source: a stream of `u64`s (and the derived `u32`s).

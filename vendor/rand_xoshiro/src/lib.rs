@@ -5,6 +5,8 @@
 //! as the upstream crate does, so the statistical quality of every generated
 //! graph matches what the real dependency would produce.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 /// SplitMix64 step used to expand a `u64` seed into generator state.

@@ -1,0 +1,69 @@
+//! The executor's chunk-claim/completion protocol, factored out of
+//! [`crate::pool`] so the schedule-exploring model checker can drive the
+//! *real* protocol (see `tests/model_claim.rs`, behind the `model-check`
+//! feature) and so its two invariants live in one place:
+//!
+//! 1. **Exactly-once execution** — [`ChunkClaim::claim`] hands out each
+//!    chunk index at most once (one atomic RMW; a split load+store here is
+//!    precisely the double-claim mutant the model checker catches).
+//! 2. **Publication on completion** — [`ChunkClaim::finish`] bumps the
+//!    completion counter with `AcqRel`, so whoever observes the batch
+//!    complete (the `true` return, or [`ChunkClaim::is_complete`] with its
+//!    `Acquire` load) also observes every chunk's writes. A relaxed counter
+//!    here is the relaxed-done-counter mutant.
+
+#[cfg(not(feature = "model-check"))]
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[cfg(feature = "model-check")]
+use cldiam_modelcheck::sync::atomic::{AtomicUsize, Ordering};
+
+/// Claim/completion state for one batch of `total` independent chunks.
+#[derive(Debug)]
+pub struct ChunkClaim {
+    total: usize,
+    /// Next unclaimed chunk index (may overshoot `total`).
+    next: AtomicUsize,
+    /// Number of chunks that finished executing.
+    done: AtomicUsize,
+}
+
+impl ChunkClaim {
+    /// A fresh batch of `total` chunks, none claimed.
+    pub fn new(total: usize) -> Self {
+        ChunkClaim { total, next: AtomicUsize::new(0), done: AtomicUsize::new(0) }
+    }
+
+    /// Number of chunks in the batch.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Claims the next chunk, or `None` once all chunks have been handed
+    /// out. Each index in `0..total` is returned exactly once across all
+    /// claiming threads (the claim is a single atomic RMW).
+    pub fn claim(&self) -> Option<usize> {
+        let index = self.next.fetch_add(1, Ordering::Relaxed);
+        (index < self.total).then_some(index)
+    }
+
+    /// `true` once every chunk has been claimed (they may still be
+    /// running — completion is [`ChunkClaim::finish`]'s business).
+    pub fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Records one chunk as finished; returns `true` for exactly the call
+    /// that completes the batch. The `AcqRel` bump makes every finished
+    /// chunk's writes visible to the completing caller.
+    pub fn finish(&self) -> bool {
+        self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total
+    }
+
+    /// `true` once every chunk has finished; the `Acquire` load pairs with
+    /// the `AcqRel` bumps in [`ChunkClaim::finish`], so a `true` return
+    /// also publishes all chunk writes to the caller.
+    pub fn is_complete(&self) -> bool {
+        self.done.load(Ordering::Acquire) == self.total
+    }
+}

@@ -39,10 +39,15 @@
 //! Swapping the real rayon back in is a one-line change in each crate's
 //! `Cargo.toml` (drop the `path` key); no source changes are required.
 
+// Unsafe is confined to the `pool` and `slice` modules, which opt back
+// in at module scope with their invariants documented per site.
+#![deny(unsafe_code)]
+
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+pub mod claim;
 pub mod iter;
 pub mod pool;
 pub mod slice;

@@ -15,12 +15,18 @@
 //! been claimed), which is what makes the lifetime erasure in [`Batch::task`]
 //! sound: the closure and everything it borrows outlive the batch.
 
+// The crate denies unsafe; this module opts back in for the batch
+// Send/Sync impls (every site carries a SAFETY note).
+#![allow(unsafe_code)]
+
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+
+use crate::claim::ChunkClaim;
 
 /// How many chunks a parallel operation is split into per pool thread. A
 /// small oversubscription factor lets fast threads steal extra chunks from
@@ -45,11 +51,10 @@ pub(crate) struct Batch {
     /// `done == total` (it blocks in [`Batch::wait`]), so every dereference
     /// happens while the closure is still live.
     task: *const (dyn Fn(usize) + Sync),
-    total: usize,
-    /// Next unclaimed chunk index (may overshoot `total`).
-    next: AtomicUsize,
-    /// Number of chunks that finished executing.
-    done: AtomicUsize,
+    /// Chunk claiming and completion tracking — the lock-free heart of the
+    /// executor, factored into [`ChunkClaim`] so the model checker can
+    /// drive it directly (see `tests/model_claim.rs`).
+    claim: ChunkClaim,
     /// Panic payload raised by the *lowest-indexed* panicking chunk, paired
     /// with its index, re-thrown by the caller. Keeping the lowest index
     /// (rather than the first observed) makes the propagated panic
@@ -65,15 +70,15 @@ pub(crate) struct Batch {
 // a `Sync` closure that outlives the batch (see the field's safety comment),
 // so sharing the pointer across the pool's threads is sound.
 unsafe impl Send for Batch {}
+// SAFETY: as above — all other fields are themselves Sync; only the erased
+// pointer needs the manual argument.
 unsafe impl Sync for Batch {}
 
 impl Batch {
     fn new(task: *const (dyn Fn(usize) + Sync), total: usize) -> Self {
         Batch {
             task,
-            total,
-            next: AtomicUsize::new(0),
-            done: AtomicUsize::new(0),
+            claim: ChunkClaim::new(total),
             panic: Mutex::new(None),
             completed: Mutex::new(false),
             cvar: Condvar::new(),
@@ -82,21 +87,17 @@ impl Batch {
 
     /// `true` once every chunk has been claimed (they may still be running).
     fn exhausted(&self) -> bool {
-        self.next.load(Ordering::Relaxed) >= self.total
+        self.claim.exhausted()
     }
 
     /// Claims and executes chunks until none are left. Called by workers and
     /// by the submitting thread alike — the "chunk stealing" at the heart of
     /// the executor.
     fn help(&self) {
-        loop {
-            let index = self.next.fetch_add(1, Ordering::Relaxed);
-            if index >= self.total {
-                return;
-            }
+        while let Some(index) = self.claim.claim() {
             // SAFETY: per the invariant on `task`, the closure is alive until
-            // `done == total`, and this chunk's `done` increment happens after
-            // the call below.
+            // every chunk has finished, and this chunk's `finish` happens
+            // after the call below.
             let task = unsafe { &*self.task };
             if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| task(index))) {
                 let mut slot = lock(&self.panic);
@@ -105,7 +106,7 @@ impl Batch {
                     _ => *slot = Some((index, payload)),
                 }
             }
-            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            if self.claim.finish() {
                 *lock(&self.completed) = true;
                 self.cvar.notify_all();
             }

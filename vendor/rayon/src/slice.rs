@@ -8,6 +8,10 @@
 //! chunking and the merge order depend only on the input length, the result
 //! is identical at every thread count.
 
+// The crate denies unsafe; this module opts back in for the merge-sort
+// pointer plumbing (every site carries a SAFETY note).
+#![allow(unsafe_code)]
+
 use std::cmp::Ordering;
 use std::mem::MaybeUninit;
 use std::sync::Mutex;
@@ -96,6 +100,7 @@ impl<T> SendPtr<T> {
 
 // SAFETY: see the type docs — every task dereferences a disjoint region.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — tasks share the wrapper but never the region behind it.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Aborts the process if dropped while unwinding; `forget` it on success.

@@ -1,0 +1,112 @@
+//! Model-checked verification of the executor's real chunk-claim protocol
+//! (`rayon::claim::ChunkClaim` — the lock-free heart of `Batch::help`).
+//! Compiled only with `--features model-check`. Run with:
+//!
+//! ```text
+//! cargo test -p rayon --features model-check --test model_claim
+//! ```
+
+#![cfg(feature = "model-check")]
+
+use std::sync::Arc;
+
+use cldiam_modelcheck as mc;
+use mc::cell::TrackedCell;
+use rayon::claim::ChunkClaim;
+
+#[test]
+fn chunks_are_claimed_exactly_once() {
+    // Two workers drain a 2-chunk batch; across every interleaving each
+    // chunk index is handed out exactly once (the TrackedCell writes would
+    // race if a chunk were double-claimed) and nothing is skipped.
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let claim = Arc::new(ChunkClaim::new(2));
+        let chunks: Arc<[TrackedCell<usize>; 2]> = Arc::new([
+            TrackedCell::new("chunk[0]", usize::MAX),
+            TrackedCell::new("chunk[1]", usize::MAX),
+        ]);
+        let workers: Vec<_> = (0..2)
+            .map(|worker| {
+                let (claim, chunks) = (Arc::clone(&claim), Arc::clone(&chunks));
+                mc::thread::spawn(move || {
+                    let mut claimed = Vec::new();
+                    while let Some(index) = claim.claim() {
+                        chunks[index].set(worker);
+                        claimed.push(index);
+                        claim.finish();
+                    }
+                    claimed
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = workers.into_iter().flat_map(|w| w.join()).collect();
+        all.sort_unstable();
+        assert_eq!(all, [0, 1], "each chunk claimed exactly once");
+        assert!(claim.exhausted());
+        assert!(claim.is_complete());
+        assert!(chunks[0].get() != usize::MAX && chunks[1].get() != usize::MAX);
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+    assert!(report.schedules > 1);
+}
+
+#[test]
+fn completion_publishes_chunk_writes_to_the_waiter() {
+    // The `Batch::wait` shape: a coordinator that observes `is_complete()`
+    // must also observe every chunk's writes (the AcqRel/Acquire pairing
+    // in `finish`/`is_complete`). With TrackedCell payloads, a missing
+    // edge would be reported as a data race.
+    let report = mc::explore(mc::Config::bounded(2), || {
+        let claim = Arc::new(ChunkClaim::new(2));
+        let chunks: Arc<[TrackedCell<u64>; 2]> =
+            Arc::new([TrackedCell::new("result[0]", 0), TrackedCell::new("result[1]", 0)]);
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (claim, chunks) = (Arc::clone(&claim), Arc::clone(&chunks));
+                mc::thread::spawn(move || {
+                    while let Some(index) = claim.claim() {
+                        chunks[index].set(index as u64 + 10);
+                        claim.finish();
+                    }
+                })
+            })
+            .collect();
+        // Consume the results as soon as the claim reports completion —
+        // before joining, exactly how the submitting thread in `run_batch`
+        // reads results other threads produced.
+        while !claim.is_complete() {
+            mc::hint::spin_loop();
+        }
+        assert_eq!(chunks[0].get() + chunks[1].get(), 21);
+        for w in workers {
+            w.join();
+        }
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+}
+
+#[test]
+fn finish_reports_completion_exactly_once() {
+    let report = mc::explore(mc::Config::exhaustive(), || {
+        let claim = Arc::new(ChunkClaim::new(2));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let claim = Arc::clone(&claim);
+                mc::thread::spawn(move || {
+                    let mut completions = 0usize;
+                    while claim.claim().is_some() {
+                        if claim.finish() {
+                            completions += 1;
+                        }
+                    }
+                    completions
+                })
+            })
+            .collect();
+        let total: usize = workers.into_iter().map(|w| w.join()).sum();
+        assert_eq!(total, 1, "exactly one finish() call completes the batch");
+    });
+    assert!(report.failure.is_none(), "{:?}", report.failure);
+    assert!(report.complete);
+}

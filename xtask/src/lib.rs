@@ -1,0 +1,7 @@
+//! Library half of the `xtask` automation binary, exposed so the lint
+//! scanner has a unit-testable API (`tests/lint_fixtures.rs` drives
+//! [`lint::scan_source`] over fixture files with known violations).
+
+#![forbid(unsafe_code)]
+
+pub mod lint;

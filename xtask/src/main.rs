@@ -1,0 +1,29 @@
+//! `cargo xtask <command>` — repo automation entry point.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => xtask::lint::run(&args[1..]),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint    run the repo-invariant lint pass over the workspace sources
+          (see CONTRIBUTING.md for the enforced invariants and the
+          `// lint:allow(<rule>): <why>` tag syntax)";

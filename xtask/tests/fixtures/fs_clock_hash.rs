@@ -1,0 +1,45 @@
+// Lint-scanner fixture for the fs-choke-point, clock-discipline and
+// hash-determinism rules. Scanned under a synthetic `crates/graph/src/`
+// path; line numbers are asserted exactly — keep them stable.
+
+use std::collections::HashMap;
+use std::fs::File; // `use` lines are exempt from fs-choke-point
+
+pub fn direct_fs(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    let _meta = std::fs::metadata(path)?;
+    let _file = File::open(path)?;
+    std::fs::read(path)
+}
+
+pub fn ambient_clock() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn seeded_by_chance() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn justified() -> HashMap<u32, u32> {
+    // lint:allow(hash-determinism): fixture — lookup-only table; its
+    // iteration order is never observed by any output path.
+    HashMap::new()
+}
+
+pub fn bare_tag() -> HashMap<u32, u32> {
+    // lint:allow(hash-determinism):
+    HashMap::new()
+}
+
+pub fn wrong_rule_tag() -> std::time::Instant {
+    // lint:allow(fs-choke-point): fixture — tag names a different rule.
+    std::time::Instant::now()
+}
+
+pub fn not_code() {
+    let _s = "std::fs::read and Instant::now() inside a string literal";
+    // std::fs::read and Instant::now() inside a comment.
+}

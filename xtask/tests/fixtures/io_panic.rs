@@ -1,0 +1,29 @@
+// Lint-scanner fixture for the `io-panic` rule. Scanned by
+// ../lint_fixtures.rs under a synthetic `crates/graph/src/io/` path;
+// line numbers are asserted exactly, so keep them stable.
+
+pub fn load(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("short input");
+    if bytes.len() > 9 {
+        panic!("too long");
+    }
+    match first {
+        0 => unreachable!("zero is filtered"),
+        _ => u32::from(*first) + u32::from(*second),
+    }
+}
+
+pub fn justified(bytes: &[u8]) -> u8 {
+    // lint:allow(io-panic): fixture — this unwrap is justified here.
+    *bytes.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_mod_is_exempt() {
+        assert_eq!(super::load(&[1, 2]), 3);
+        super::justified(&[0, 0]).checked_add(1).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+// Lint-scanner fixture for the `safety-comment` rule. Line numbers are
+// asserted exactly by ../lint_fixtures.rs — keep them stable.
+
+pub fn undocumented(ptr: *const u32) -> u32 {
+    unsafe { *ptr }
+}
+
+pub fn documented(ptr: *const u32) -> u32 {
+    // SAFETY: fixture — the caller guarantees `ptr` is valid and aligned.
+    unsafe { *ptr }
+}
+
+pub fn same_line(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // SAFETY: fixture — same-line comments count too.
+}
+
+/// Reads through `ptr`.
+///
+/// # Safety
+///
+/// `ptr` must be valid for reads.
+#[inline]
+pub unsafe fn doc_section(ptr: *const u32) -> u32 {
+    *ptr
+}
+
+pub fn mentioned_in_comment_only() {
+    // The word unsafe in a comment is not flagged.
+}

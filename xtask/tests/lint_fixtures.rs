@@ -1,0 +1,136 @@
+//! Fixture tests for the repo-lint scanner: each fixture under
+//! `tests/fixtures/` is scanned under a synthetic repo-relative path and
+//! the resulting diagnostics are compared against the exact `(line, rule)`
+//! set the fixture was written to produce. The fixtures directory itself is
+//! skipped by `scan_repo`, so these deliberately-violating files never leak
+//! into the real lint pass.
+
+use std::path::Path;
+
+use xtask::lint::{rules_for_path, scan_repo, scan_source, Diagnostic};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+/// The `(line, rule)` pairs of `diags`, in scan order.
+fn findings(diags: &[Diagnostic]) -> Vec<(usize, &'static str)> {
+    diags.iter().map(|d| (d.line, d.rule)).collect()
+}
+
+#[test]
+fn io_panic_fixture_yields_exact_lines() {
+    let diags = scan_source(Path::new("crates/graph/src/io/fixture.rs"), &fixture("io_panic.rs"));
+    assert_eq!(
+        findings(&diags),
+        vec![(6, "io-panic"), (7, "io-panic"), (9, "io-panic"), (12, "io-panic")],
+        "full diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn io_panic_rule_is_scoped_to_the_io_tree() {
+    // The same source outside `crates/graph/src/io/` produces nothing: the
+    // panics are legal elsewhere and no other rule matches this fixture.
+    let diags = scan_source(Path::new("crates/graph/src/fixture.rs"), &fixture("io_panic.rs"));
+    assert_eq!(findings(&diags), vec![], "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn safety_fixture_flags_only_the_undocumented_site() {
+    let diags = scan_source(Path::new("crates/graph/src/fixture.rs"), &fixture("safety.rs"));
+    assert_eq!(findings(&diags), vec![(5, "safety-comment")], "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn safety_rule_applies_even_under_tests() {
+    // Every other rule is relaxed for test code; SAFETY discipline is not.
+    let diags = scan_source(Path::new("crates/graph/tests/fixture.rs"), &fixture("safety.rs"));
+    assert_eq!(findings(&diags), vec![(5, "safety-comment")], "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn fs_clock_hash_fixture_yields_exact_lines() {
+    let diags = scan_source(Path::new("crates/graph/src/fixture.rs"), &fixture("fs_clock_hash.rs"));
+    assert_eq!(
+        findings(&diags),
+        vec![
+            (9, "fs-choke-point"),
+            (10, "fs-choke-point"),
+            (11, "fs-choke-point"),
+            (15, "clock-discipline"),
+            (19, "clock-discipline"),
+            (23, "hash-determinism"),
+            (34, "hash-determinism"),
+            (39, "clock-discipline"),
+        ],
+        "full diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn overlapping_fs_patterns_collapse_to_one_diagnostic() {
+    // `std::fs::metadata(` matches both the `std::fs::` and `fs::metadata`
+    // patterns; the scanner must report the line once.
+    let diags = scan_source(Path::new("crates/graph/src/fixture.rs"), &fixture("fs_clock_hash.rs"));
+    let on_line_9: Vec<_> = diags.iter().filter(|d| d.line == 9).collect();
+    assert_eq!(on_line_9.len(), 1, "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn diagnostics_render_as_path_line_col_rule() {
+    let diags = scan_source(Path::new("crates/graph/src/fixture.rs"), &fixture("fs_clock_hash.rs"));
+    let first = diags.first().expect("fixture produces diagnostics");
+    let rendered = first.to_string();
+    assert!(
+        rendered.starts_with("crates/graph/src/fixture.rs:9:")
+            && rendered.contains("[fs-choke-point]"),
+        "unexpected rendering: {rendered}"
+    );
+}
+
+#[test]
+fn fixture_paths_are_exempt_from_every_rule() {
+    // Scanning a fixture under its real path produces nothing — that is how
+    // the violating files in tests/fixtures/ stay out of `cargo xtask lint`.
+    for name in ["io_panic.rs", "safety.rs", "fs_clock_hash.rs"] {
+        let rel = format!("xtask/tests/fixtures/{name}");
+        let diags = scan_source(Path::new(&rel), &fixture(name));
+        assert_eq!(findings(&diags), vec![], "{name}: {diags:#?}");
+    }
+}
+
+#[test]
+fn rule_scoping_matches_the_approved_locations() {
+    let choke = rules_for_path("crates/graph/src/io/mod.rs");
+    assert!(!choke.fs_choke_point, "the choke point itself may touch std::fs");
+    assert!(choke.io_panic, "but it is still on the IO no-panic path");
+
+    let cancel = rules_for_path("crates/graph/src/cancel.rs");
+    assert!(!cancel.clock_discipline, "deadline handling may read the clock");
+    assert!(cancel.fs_choke_point);
+
+    let bench = rules_for_path("crates/bench/src/bin/run.rs");
+    assert!(!bench.fs_choke_point, "bench binaries are operator tools");
+    assert!(!bench.clock_discipline);
+
+    let vendored = rules_for_path("vendor/rayon/src/pool.rs");
+    assert!(vendored.safety_comment);
+    assert!(vendored.fs_choke_point);
+    assert!(!vendored.hash_determinism, "hash rule covers crates/ only");
+
+    let test_file = rules_for_path("crates/graph/tests/loom.rs");
+    assert!(test_file.safety_comment);
+    assert!(!test_file.fs_choke_point);
+    assert!(!test_file.clock_discipline);
+}
+
+#[test]
+fn repository_is_lint_clean() {
+    // The same invariant CI enforces via `cargo xtask lint`, kept here so a
+    // plain `cargo test` catches regressions too.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).parent().unwrap().to_path_buf();
+    let diags = scan_repo(&root).unwrap();
+    assert!(diags.is_empty(), "repo lint violations:\n{:#?}", diags);
+}
